@@ -1,0 +1,214 @@
+// Ablation A2: why bother refactoring RCP at all? (§2.2's motivation:
+// "RCP is a congestion control algorithm that rapidly allocates link
+// capacity to help flows finish quickly", vs TCP-style AIMD.)
+//
+// Scenario: one flow owns a 10 Mb/s bottleneck; at t=5 s a second flow
+// joins. We measure how long the newcomer needs to reach 80% of its fair
+// share (C/2) under four controllers on the identical substrate:
+//   AIMD        no network support (loss-driven sawtooth)
+//   DCTCP       ECN marks (the §4 fixed-function baseline)
+//   RCP         in-switch baseline
+//   RCP*        TPP + end-host refactoring
+// Expected shape: both RCP variants converge in a few control periods;
+// AIMD needs many RTTs of additive climb and keeps oscillating.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apps/aimd.hpp"
+#include "src/apps/dctcp.hpp"
+#include "src/apps/rcpstar.hpp"
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+#include "src/rcp/rcp_router.hpp"
+
+namespace {
+
+using namespace tpp;
+
+constexpr std::uint64_t kBottleneck = 10'000'000;
+const sim::Time kJoinAt = sim::Time::sec(5);
+const sim::Time kRunFor = sim::Time::sec(25);
+
+void setup(host::Testbed& tb, std::uint64_t ecnThresholdBytes = 0) {
+  asic::SwitchConfig cfg;
+  cfg.bufferPerQueueBytes = 64 * 1024;
+  cfg.utilizationWindow = sim::Time::ms(50);
+  cfg.ecnThresholdBytes = ecnThresholdBytes;
+  buildDumbbell(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{kBottleneck, sim::Time::ms(1)}, cfg);
+  for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+    for (std::size_t p = 0; p < tb.sw(s).config().ports; ++p) {
+      tb.sw(s).scratchWrite(
+          core::addr::RcpRateRegister,
+          static_cast<std::uint32_t>(tb.sw(s).portCapacityBps(p) / 1000), p);
+    }
+  }
+}
+
+host::FlowSpec specFor(host::Testbed& tb, std::size_t pair) {
+  host::FlowSpec spec;
+  spec.dstMac = tb.host(2 + pair).mac();
+  spec.dstIp = tb.host(2 + pair).ip();
+  spec.srcPort = static_cast<std::uint16_t>(21000 + pair);
+  spec.dstPort = spec.srcPort;
+  spec.rateBps = 100e3;
+  return spec;
+}
+
+// Seconds after kJoinAt until the series stays >= threshold for 3
+// consecutive samples; NaN when it never settles.
+double settleTime(const sim::TimeSeries& s, double thresholdBps) {
+  int streak = 0;
+  for (const auto& [t, v] : s.points()) {
+    if (t < kJoinAt) continue;
+    streak = v >= thresholdBps ? streak + 1 : 0;
+    if (streak >= 3) return (t - kJoinAt).toSeconds();
+  }
+  return std::nan("");
+}
+
+double runAimd() {
+  host::Testbed tb;
+  setup(tb);
+  host::PacedFlow f1(tb.host(0), specFor(tb, 0), 1);
+  host::PacedFlow f2(tb.host(1), specFor(tb, 1), 2);
+  apps::AimdController::Config acfg;
+  acfg.rtt = sim::Time::ms(50);
+  acfg.additiveBps = 100e3;
+  apps::AimdController c1(f1, tb.host(2), acfg);
+  apps::AimdController c2(f2, tb.host(3), acfg);
+  c1.start(sim::Time::zero());
+  c2.start(kJoinAt);
+  tb.sim().run(kRunFor);
+  const double settle = settleTime(c2.rateSeries(), 0.8 * kBottleneck / 2);
+  c1.stop();
+  c2.stop();
+  return settle;
+}
+
+double runDctcp() {
+  host::Testbed tb;
+  setup(tb, /*ecnThresholdBytes=*/15'000);
+  host::PacedFlow f1(tb.host(0), specFor(tb, 0), 1);
+  host::PacedFlow f2(tb.host(1), specFor(tb, 1), 2);
+  apps::DctcpController::Config dcfg;
+  dcfg.rtt = sim::Time::ms(50);
+  dcfg.additiveBps = 100e3;
+  apps::DctcpController c1(f1, tb.host(2), dcfg);
+  apps::DctcpController c2(f2, tb.host(3), dcfg);
+  c1.start(sim::Time::zero());
+  c2.start(kJoinAt);
+  tb.sim().run(kRunFor);
+  const double settle = settleTime(c2.rateSeries(), 0.8 * kBottleneck / 2);
+  c1.stop();
+  c2.stop();
+  return settle;
+}
+
+double runRcpBaseline() {
+  host::Testbed tb;
+  setup(tb);
+  rcp::RcpRouter::Config rcfg;
+  rcfg.params.rttSeconds = 0.05;
+  rcfg.period = sim::Time::ms(50);
+  rcfg.managedPorts = {2};
+  rcp::RcpRouter router(tb.sw(0), rcfg);
+  tb.sw(0).setEgressInterceptor(&router);
+  router.start();
+
+  std::vector<std::unique_ptr<host::PacedFlow>> flows;
+  sim::TimeSeries newcomer;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto spec = specFor(tb, i);
+    flows.push_back(std::make_unique<host::PacedFlow>(tb.host(i), spec,
+                                                      i + 1));
+    flows[i]->setPacketHook([](net::Packet& p) {
+      const std::size_t off = net::kEthernetHeaderSize +
+                              net::kIpv4HeaderSize + net::kUdpHeaderSize;
+      rcp::RcpHeader h;
+      h.write(p.span().subspan(off));
+    });
+    auto* flowPtr = flows[i].get();
+    tb.host(2 + i).bindUdp(spec.dstPort,
+                           [flowPtr](const host::UdpDatagram& d) {
+                             if (const auto h = rcp::RcpHeader::parse(d.payload);
+                                 h && h->rateKbps != 0xffffffff) {
+                               flowPtr->setRateBps(h->rateKbps * 1000.0);
+                             }
+                           });
+  }
+  flows[0]->start(sim::Time::zero());
+  flows[1]->start(kJoinAt);
+  // Sample the newcomer's achieved rate.
+  std::function<void()> sample = [&] {
+    newcomer.add(tb.sim().now(), flows[1]->rateBps());
+    if (tb.sim().now() < kRunFor) {
+      tb.sim().schedule(sim::Time::ms(100), sample);
+    }
+  };
+  sample();
+  tb.sim().run(kRunFor);
+  return settleTime(newcomer, 0.8 * kBottleneck / 2);
+}
+
+double runRcpStar() {
+  host::Testbed tb;
+  setup(tb);
+  struct Entry {
+    std::unique_ptr<host::PacedFlow> flow;
+    std::unique_ptr<apps::RcpStarController> controller;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto spec = specFor(tb, i);
+    Entry e;
+    e.flow = std::make_unique<host::PacedFlow>(tb.host(i), spec, i + 1);
+    apps::RcpStarController::Config ccfg;
+    ccfg.params.rttSeconds = 0.05;
+    ccfg.period = sim::Time::ms(50);
+    ccfg.dstMac = spec.dstMac;
+    ccfg.dstIp = spec.dstIp;
+    e.controller = std::make_unique<apps::RcpStarController>(tb.host(i),
+                                                             *e.flow, ccfg);
+    entries.push_back(std::move(e));
+  }
+  entries[0].flow->start(sim::Time::zero());
+  entries[0].controller->start(sim::Time::zero());
+  entries[1].flow->start(kJoinAt);
+  entries[1].controller->start(kJoinAt);
+  tb.sim().run(kRunFor);
+  return settleTime(entries[1].controller->rateSeries(),
+                    0.8 * kBottleneck / 2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation A2: convergence of a late-joining flow ==\n");
+  std::printf("10 Mb/s bottleneck; flow 2 joins at t=5 s; time to hold "
+              ">=80%% of fair share (C/2):\n\n");
+  const double aimd = runAimd();
+  const double dctcp = runDctcp();
+  const double rcp = runRcpBaseline();
+  const double star = runRcpStar();
+  std::printf("%-24s %-14s\n", "controller", "settle time");
+  auto row = [](const char* name, double s) {
+    if (std::isnan(s)) {
+      std::printf("%-24s %-14s\n", name, "never");
+    } else {
+      std::printf("%-24s %.1f s\n", name, s);
+    }
+  };
+  row("AIMD (no net support)", aimd);
+  row("DCTCP (ECN marks)", dctcp);
+  row("RCP (in-switch)", rcp);
+  row("RCP* (TPP + end-host)", star);
+
+  const bool shapeHolds = !std::isnan(rcp) && !std::isnan(star) &&
+                          (std::isnan(aimd) || (rcp < aimd && star < aimd));
+  std::printf("\nshape (RCP and RCP* beat AIMD to fair share): %s\n",
+              shapeHolds ? "yes" : "NO");
+  return shapeHolds ? 0 : 1;
+}

@@ -1,0 +1,191 @@
+// Figure 2: "We compare a Linux router based implementation of RCP* and a
+// simulation of the original RCP algorithm. We start one flow each at
+// t=0s, t=10s and t=20s and we find that RCP* helps flows converge quickly
+// to their fair share on the bottleneck link."
+//
+// Both systems run on the same simulated substrate:
+//   RCP   — in-switch baseline: the router evaluates the control equation
+//           and stamps packets (src/rcp/rcp_router).
+//   RCP*  — end-host refactoring: per-flow controllers collect state with
+//           TPPs, compute, and CEXEC-STORE the bottleneck register
+//           (src/apps/rcpstar).
+// Output: the R(t)/C series for both, plus per-epoch fair-share means
+// (expected shape: ~1, ~1/2, ~1/3 as flows join at 0 s, 10 s, 20 s).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/apps/rcpstar.hpp"
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+#include "src/rcp/rcp_router.hpp"
+
+namespace {
+
+using namespace tpp;
+
+constexpr std::uint64_t kBottleneck = 10'000'000;  // 10 Mb/s
+constexpr double kAlpha = 0.5;                     // Fig 2 parameters
+constexpr double kBeta = 1.0;
+constexpr double kRttSeconds = 0.05;
+const sim::Time kPeriod = sim::Time::ms(50);
+const sim::Time kRunFor = sim::Time::sec(30);
+
+void setupTestbed(host::Testbed& tb) {
+  asic::SwitchConfig cfg;
+  cfg.bufferPerQueueBytes = 64 * 1024;
+  cfg.utilizationWindow = sim::Time::ms(50);
+  buildDumbbell(tb, 3, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{kBottleneck, sim::Time::ms(1)}, cfg);
+  for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+    for (std::size_t p = 0; p < tb.sw(s).config().ports; ++p) {
+      tb.sw(s).scratchWrite(
+          core::addr::RcpRateRegister,
+          static_cast<std::uint32_t>(tb.sw(s).portCapacityBps(p) / 1000), p);
+    }
+  }
+}
+
+// Samples the bottleneck link's rate register every 100 ms.
+void sampleRegister(host::Testbed& tb, sim::TimeSeries& series) {
+  const auto rate =
+      *tb.sw(0).scratchRead(core::addr::RcpRateRegister, /*port=*/3);
+  series.add(tb.sim().now(), static_cast<double>(rate) * 1000.0 /
+                                 static_cast<double>(kBottleneck));
+  if (tb.sim().now() < kRunFor) {
+    tb.sim().schedule(sim::Time::ms(100),
+                      [&tb, &series] { sampleRegister(tb, series); });
+  }
+}
+
+sim::TimeSeries runBaselineRcp() {
+  host::Testbed tb;
+  setupTestbed(tb);
+
+  rcp::RcpRouter::Config rcfg;
+  rcfg.params.alpha = kAlpha;
+  rcfg.params.beta = kBeta;
+  rcfg.params.rttSeconds = kRttSeconds;
+  rcfg.period = kPeriod;
+  rcfg.managedPorts = {3};
+  rcp::RcpRouter router(tb.sw(0), rcfg);
+  tb.sw(0).setEgressInterceptor(&router);
+  router.start();
+
+  struct GreedyFlow {
+    std::unique_ptr<host::PacedFlow> flow;
+  };
+  std::vector<GreedyFlow> flows;
+  for (std::size_t i = 0; i < 3; ++i) {
+    host::FlowSpec spec;
+    spec.dstMac = tb.host(3 + i).mac();
+    spec.dstIp = tb.host(3 + i).ip();
+    spec.srcPort = static_cast<std::uint16_t>(21000 + i);
+    spec.dstPort = spec.srcPort;
+    spec.rateBps = 100e3;
+    GreedyFlow g;
+    g.flow = std::make_unique<host::PacedFlow>(tb.host(i), spec, i + 1);
+    g.flow->setPacketHook([](net::Packet& p) {
+      const std::size_t off = net::kEthernetHeaderSize +
+                              net::kIpv4HeaderSize + net::kUdpHeaderSize;
+      rcp::RcpHeader h;
+      h.write(p.span().subspan(off));
+    });
+    auto* flowPtr = g.flow.get();
+    tb.host(3 + i).bindUdp(spec.dstPort,
+                           [flowPtr](const host::UdpDatagram& d) {
+                             if (const auto h = rcp::RcpHeader::parse(d.payload);
+                                 h && h->rateKbps != 0xffffffff) {
+                               flowPtr->setRateBps(h->rateKbps * 1000.0);
+                             }
+                           });
+    g.flow->start(sim::Time::sec(static_cast<std::int64_t>(10 * i)));
+    flows.push_back(std::move(g));
+  }
+
+  sim::TimeSeries series;
+  sampleRegister(tb, series);
+  tb.sim().run(kRunFor);
+  return series;
+}
+
+sim::TimeSeries runRcpStar() {
+  host::Testbed tb;
+  setupTestbed(tb);
+
+  struct Controlled {
+    std::unique_ptr<host::PacedFlow> flow;
+    std::unique_ptr<apps::RcpStarController> controller;
+  };
+  std::vector<Controlled> flows;
+  for (std::size_t i = 0; i < 3; ++i) {
+    host::FlowSpec spec;
+    spec.dstMac = tb.host(3 + i).mac();
+    spec.dstIp = tb.host(3 + i).ip();
+    spec.srcPort = static_cast<std::uint16_t>(21000 + i);
+    spec.dstPort = spec.srcPort;
+    spec.rateBps = 100e3;
+    Controlled c;
+    c.flow = std::make_unique<host::PacedFlow>(tb.host(i), spec, i + 1);
+    apps::RcpStarController::Config ccfg;
+    ccfg.params.alpha = kAlpha;
+    ccfg.params.beta = kBeta;
+    ccfg.params.rttSeconds = kRttSeconds;
+    ccfg.period = kPeriod;
+    ccfg.dstMac = spec.dstMac;
+    ccfg.dstIp = spec.dstIp;
+    c.controller = std::make_unique<apps::RcpStarController>(tb.host(i),
+                                                             *c.flow, ccfg);
+    const auto startAt = sim::Time::sec(static_cast<std::int64_t>(10 * i));
+    c.flow->start(startAt);
+    c.controller->start(startAt);
+    flows.push_back(std::move(c));
+  }
+
+  sim::TimeSeries series;
+  sampleRegister(tb, series);
+  tb.sim().run(kRunFor);
+  return series;
+}
+
+double epochMean(const sim::TimeSeries& s, int fromSec, int toSec) {
+  return s.meanOver(sim::Time::sec(fromSec), sim::Time::sec(toSec));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: RCP vs RCP*, R(t)/C on a 10 Mb/s bottleneck ==\n");
+  std::printf("flows start at t = 0 s, 10 s, 20 s; alpha=0.5 beta=1\n\n");
+
+  const auto baseline = runBaselineRcp();
+  const auto star = runRcpStar();
+
+  std::printf("t(s),RCP(in-switch)/C,RCP*(TPP+endhost)/C\n");
+  for (std::size_t i = 0; i < baseline.points().size() &&
+                          i < star.points().size();
+       ++i) {
+    std::printf("%.1f,%.3f,%.3f\n", baseline.points()[i].first.toSeconds(),
+                baseline.points()[i].second, star.points()[i].second);
+  }
+
+  struct Epoch {
+    int from, to;
+    double fair;
+  };
+  const Epoch epochs[] = {{5, 10, 1.0}, {15, 20, 0.5}, {25, 30, 1.0 / 3}};
+  std::printf("\n%-18s %-10s %-10s %-10s\n", "epoch", "fair", "RCP", "RCP*");
+  bool shapeHolds = true;
+  for (const auto& e : epochs) {
+    const double b = epochMean(baseline, e.from, e.to);
+    const double s = epochMean(star, e.from, e.to);
+    std::printf("[%2d s, %2d s)       %-10.3f %-10.3f %-10.3f\n", e.from,
+                e.to, e.fair, b, s);
+    shapeHolds = shapeHolds && std::abs(b - e.fair) < 0.5 * e.fair &&
+                 std::abs(s - e.fair) < 0.5 * e.fair;
+  }
+  std::printf("\nqualitative agreement (both track the fair share): %s\n",
+              shapeHolds ? "yes" : "NO");
+  return shapeHolds ? 0 : 1;
+}

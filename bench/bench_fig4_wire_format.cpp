@@ -1,0 +1,99 @@
+// Figure 4 + §3.3 overheads: the TPP wire format.
+//
+//   "Restricting TPPs to (say) five instructions per-packet requires only
+//    20 bytes of instruction overhead and up to 60 bytes of output space"
+//   "if each instruction accesses 8-byte values in the packet, we require
+//    only 40 bytes of packet memory per hop"
+//
+// We reproduce the byte accounting exactly, sweep it over instruction
+// counts and path lengths, and round-trip the encoding to prove the format
+// is self-describing.
+#include <cstdio>
+
+#include "src/core/assembler.hpp"
+#include "src/core/program.hpp"
+#include "src/net/ethernet.hpp"
+
+int main() {
+  using namespace tpp;
+
+  std::printf("== Figure 4: TPP wire format ==\n");
+  std::printf("layout: Ethernet(14) | TPP header(%zu) | instructions(4/ea) "
+              "| packet memory(4/word) | payload\n",
+              core::kTppHeaderSize);
+  std::printf("header fields: lengths, addressing mode, hop/SP, per-hop "
+              "size, fault, inner ethertype, task id\n\n");
+
+  // §3.3 headline numbers.
+  std::printf("-- §3.3 overhead accounting --\n");
+  std::printf("%-14s %-20s %-22s %-14s\n", "instructions",
+              "instr bytes", "pmem bytes (5 hops)", "total TPP");
+  for (const std::size_t instrs : {1, 2, 3, 5, 8, 16}) {
+    core::ProgramBuilder b;
+    for (std::size_t i = 0; i < instrs; ++i) b.push(core::addr::QueueBytes);
+    // One 4-byte word per instruction per hop, 5 hops (datacenter max 5-7).
+    b.reserve(static_cast<std::uint8_t>(instrs * 5));
+    const auto p = *b.build();
+    std::printf("%-14zu %-20zu %-22zu %-14zu\n", instrs,
+                instrs * core::kInstructionSize,
+                static_cast<std::size_t>(p.pmemWords) * core::kWordSize,
+                p.wireBytes());
+  }
+  {
+    core::ProgramBuilder b;
+    for (int i = 0; i < 5; ++i) b.push(core::addr::QueueBytes);
+    b.reserve(25);
+    const auto p = *b.build();
+    const bool instr20 = p.instructions.size() * core::kInstructionSize == 20;
+    std::printf("\npaper check: 5 instructions = 20 B instruction overhead: "
+                "%s\n", instr20 ? "yes" : "NO");
+    // 8-byte values = 2 words/instruction/hop.
+    const std::size_t bytesPerHop8B = 5 * 8;
+    std::printf("paper check: 5 instr x 8 B values = %zu B packet memory "
+                "per hop: %s\n", bytesPerHop8B,
+                bytesPerHop8B == 40 ? "yes" : "NO");
+  }
+
+  // Per-hop growth for the three bundled tasks.
+  std::printf("\n-- per-task TPP sizes --\n");
+  std::printf("%-22s %-14s %-14s %-16s\n", "task", "instructions",
+              "bytes @3 hops", "bytes @7 hops");
+  struct Row {
+    const char* name;
+    std::size_t instrs;
+    std::size_t wordsPerHop;
+  };
+  for (const Row& row : {Row{"microburst (S2.1)", 2, 2},
+                         Row{"rcp* collect (S2.2)", 5, 5},
+                         Row{"ndb trace (S2.3)", 3, 3}}) {
+    auto size = [&](std::size_t hops) {
+      return core::kTppHeaderSize + row.instrs * core::kInstructionSize +
+             row.wordsPerHop * hops * core::kWordSize;
+    };
+    std::printf("%-22s %-14zu %-14zu %-16zu\n", row.name, row.instrs,
+                size(3), size(7));
+  }
+
+  // Round-trip integrity: encode → parse → re-encode must be lossless.
+  const char* source = R"(
+      .mode hop
+      .perhop 3
+      .task 7
+      .reserve 21
+      LOAD [Switch:SwitchID], [Packet:hop[0]]
+      LOAD [Queue:QueueSize], [Packet:hop[1]]
+      LOAD [Link:RX-Utilization], [Packet:hop[2]]
+  )";
+  const auto program = std::get<core::Program>(core::assemble(source));
+  auto frame = core::buildTppFrame(net::MacAddress::fromIndex(2),
+                                   net::MacAddress::fromIndex(1), program,
+                                   net::kEtherTypeIpv4);
+  const auto executed = core::parseExecuted(*frame);
+  const bool roundTrip = executed &&
+                         executed->instructions == program.instructions &&
+                         executed->header.perHopWords == 3 &&
+                         executed->header.taskId == 7;
+  std::printf("\nencode/decode round trip lossless: %s\n",
+              roundTrip ? "yes" : "NO");
+  return roundTrip ? 0 : 1;
+}

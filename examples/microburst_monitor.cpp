@@ -1,0 +1,70 @@
+// Micro-burst detection (paper §2.1): a 8:1 incast drives an egress queue
+// into sub-millisecond excursions; TPP probes sample the queue per 100 µs
+// while a "management plane" poller at 100 ms sees almost nothing.
+//
+//   $ ./microburst_monitor
+#include <cstdio>
+
+#include "src/apps/microburst.hpp"
+#include "src/host/topology.hpp"
+#include "src/workload/generators.hpp"
+
+int main() {
+  using namespace tpp;
+
+  constexpr std::size_t kSenders = 8;
+  host::Testbed tb;
+  asic::SwitchConfig cfg;
+  cfg.bufferPerQueueBytes = 512 * 1024;
+  buildStar(tb, kSenders, host::LinkParams{1'000'000'000, sim::Time::us(2)},
+            cfg);
+  auto& receiver = tb.host(kSenders);
+
+  // Periodic synchronized bursts: 8 senders x 50 KB every 10 ms.
+  workload::IncastBurst::Config icfg;
+  icfg.dstMac = receiver.mac();
+  icfg.dstIp = receiver.ip();
+  icfg.burstBytes = 50'000;
+  icfg.period = sim::Time::ms(10);
+  std::vector<host::Host*> senders;
+  for (std::size_t i = 0; i < kSenders; ++i) senders.push_back(&tb.host(i));
+  workload::IncastBurst incast(senders, icfg);
+  incast.start(sim::Time::ms(1));
+
+  // The TPP monitor probes the congested path every 100 µs.
+  apps::MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = receiver.mac();
+  mcfg.dstIp = receiver.ip();
+  mcfg.interval = sim::Time::us(100);
+  apps::MicroburstMonitor monitor(tb.host(0), mcfg);
+  monitor.start(sim::Time::zero());
+
+  // Baseline: control-plane polling at a (generous) 100 ms.
+  apps::ControlPlanePoller poller(tb.sw(0), kSenders, 0, sim::Time::ms(100));
+  poller.start(sim::Time::zero());
+
+  tb.sim().run(sim::Time::ms(500));
+  monitor.stop();
+  incast.stop();
+  poller.stop();
+  tb.sim().run();
+
+  const double threshold = 100'000.0;  // bytes
+  const auto viaTpp = apps::detectBursts(monitor.hopSeries(0), threshold);
+  const auto viaPoll = apps::detectBursts(poller.series(), threshold);
+
+  std::printf("incast rounds fired:            %zu\n", incast.burstsFired());
+  std::printf("TPP probes sent / echoed:       %llu / %llu\n",
+              static_cast<unsigned long long>(monitor.probesSent()),
+              static_cast<unsigned long long>(monitor.resultsReceived()));
+  std::printf("bursts seen via TPP probes:     %zu\n", viaTpp.size());
+  std::printf("bursts seen via 100ms polling:  %zu\n", viaPoll.size());
+
+  std::printf("\nfirst bursts (TPP view):\n");
+  std::printf("%-12s %-12s %-12s\n", "start(ms)", "end(ms)", "peak(KB)");
+  for (std::size_t i = 0; i < viaTpp.size() && i < 8; ++i) {
+    std::printf("%-12.3f %-12.3f %-12.1f\n", viaTpp[i].start.toMillis(),
+                viaTpp[i].end.toMillis(), viaTpp[i].peakBytes / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// tppasm — command-line assembler/disassembler for tiny packet programs.
+//
+//   $ echo 'PUSH [Queue:QueueSize]' | ./tppasm            # assemble
+//   $ echo 'PUSH [Queue:QueueSize]' | ./tppasm -d         # and disassemble
+//   $ ./tppasm --list                                     # memory map
+//
+// Output: one encoded instruction word per line (hex), then the packet
+// memory image, then a summary — the bytes an end-host would splice into a
+// TPP shim.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <variant>
+
+#include "src/core/assembler.hpp"
+#include "src/core/memory_map.hpp"
+
+namespace {
+
+const char* modeName(tpp::core::AddressingMode m) {
+  return m == tpp::core::AddressingMode::Stack ? "stack" : "hop";
+}
+
+int listMap() {
+  for (const auto& stat : tpp::core::MemoryMap::standard().all()) {
+    std::printf("0x%04x  %-2s  %-32s %s\n", stat.address,
+                stat.access == tpp::core::Access::ReadOnly ? "RO" : "RW",
+                stat.name.c_str(), stat.description.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool alsoDisassemble = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list") == 0) return listMap();
+    if (std::strcmp(argv[i], "-d") == 0) alsoDisassemble = true;
+    if (std::strcmp(argv[i], "-h") == 0 ||
+        std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: tppasm [-d] < program.tpp\n"
+                  "       tppasm --list\n");
+      return 0;
+    }
+  }
+
+  std::ostringstream source;
+  source << std::cin.rdbuf();
+  auto result = tpp::core::assemble(source.str());
+  if (const auto* err = std::get_if<tpp::core::AssemblyError>(&result)) {
+    std::fprintf(stderr, "tppasm: line %d: %s\n", err->line,
+                 err->message.c_str());
+    return 1;
+  }
+  const auto& program = std::get<tpp::core::Program>(result);
+
+  std::printf("# instructions (%zu x 4 bytes)\n",
+              program.instructions.size());
+  for (const auto& ins : program.instructions) {
+    std::printf("%08x\n", ins.encode());
+  }
+  std::printf("# packet memory (%u words, %zu initialized)\n",
+              program.pmemWords, program.initialPmem.size());
+  for (std::size_t i = 0; i < program.pmemWords; ++i) {
+    std::printf("%08x\n",
+                i < program.initialPmem.size() ? program.initialPmem[i] : 0);
+  }
+  std::printf("# mode=%s perhop=%u sp=%u task=%u wire=%zuB\n",
+              modeName(program.mode), program.perHopWords, program.initialSp,
+              program.taskId, program.wireBytes());
+  if (alsoDisassemble) {
+    std::printf("# disassembly\n%s",
+                tpp::core::disassemble(program).c_str());
+  }
+  return 0;
+}

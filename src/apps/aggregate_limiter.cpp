@@ -1,0 +1,200 @@
+#include "src/apps/aggregate_limiter.hpp"
+
+#include <algorithm>
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::apps {
+
+namespace {
+
+// Claim/refill program: CEXEC pins execution to the switch holding the
+// counter; CSTORE does the read-modify-write.
+core::Program casProgram(std::uint32_t switchId, std::uint16_t address,
+                         std::uint32_t expect, std::uint32_t desired,
+                         std::uint16_t taskId) {
+  core::ProgramBuilder b;
+  b.task(taskId);
+  b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
+  b.cstore(address, expect, desired);
+  return *b.build();
+}
+
+core::Program readProgram(std::uint32_t switchId, std::uint16_t address,
+                          std::uint16_t taskId) {
+  core::ProgramBuilder b;
+  b.task(taskId);
+  b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
+  b.push(address);
+  b.reserve(1);
+  return *b.build();
+}
+
+// Extracts (isCstore, observed/pushed value) from an echoed CAS/read probe
+// of this task targeting `address`; nullopt for anything else.
+struct CasEcho {
+  bool isCstore = false;
+  std::uint32_t value = 0;
+  std::uint32_t desired = 0;  // the CSTORE's src operand
+};
+std::optional<CasEcho> parseCasEcho(const core::ExecutedTpp& tpp,
+                                    std::uint16_t address,
+                                    std::uint16_t taskId) {
+  if (tpp.header.taskId != taskId) return std::nullopt;
+  if (tpp.instructions.size() != 2 ||
+      tpp.instructions[0].op != core::Opcode::Cexec) {
+    return std::nullopt;
+  }
+  const auto& second = tpp.instructions[1];
+  if (second.addr != address) return std::nullopt;
+  CasEcho echo;
+  if (second.op == core::Opcode::Cstore) {
+    echo.isCstore = true;
+    echo.value = tpp.pmem[second.pmemOff];
+    echo.desired = tpp.pmem[second.pmemOff + 1];
+  } else if (second.op == core::Opcode::Push) {
+    // Pushed value sits after the CEXEC immediates.
+    echo.value = tpp.pmem[tpp.header.stackPointer / core::kWordSize - 1];
+  } else {
+    return std::nullopt;
+  }
+  return echo;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ refiller
+
+TokenRefiller::TokenRefiller(host::Host& agent, Config config)
+    : agent_(agent), config_(config) {
+  agent_.onTppResult([this](const core::ExecutedTpp& t) { onResult(t); });
+}
+
+void TokenRefiller::start(sim::Time at) {
+  running_ = true;
+  timer_ = agent_.simulator().scheduleAt(at, [this] { refill(); });
+}
+
+void TokenRefiller::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void TokenRefiller::refill() {
+  if (!running_) return;
+  deficit_ += static_cast<std::uint64_t>(
+      config_.aggregateRateBps * config_.period.toSeconds() / 8.0);
+  // Crediting beyond a full bucket is unobservable; don't accumulate it.
+  deficit_ = std::min(deficit_, config_.bucketBytes);
+  retriesLeft_ = 3;
+  attempt();
+  timer_ = agent_.simulator().schedule(config_.period, [this] { refill(); });
+}
+
+void TokenRefiller::attempt() {
+  const auto desired = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(lastSeen_ + deficit_, config_.bucketBytes));
+  if (desired == lastSeen_) return;
+  agent_.sendProbe(config_.dstMac, config_.dstIp,
+                   casProgram(config_.targetSwitchId, config_.tokenAddress,
+                              lastSeen_, desired, config_.taskId));
+}
+
+void TokenRefiller::onResult(const core::ExecutedTpp& tpp) {
+  const auto echo =
+      parseCasEcho(tpp, config_.tokenAddress, config_.taskId);
+  if (!echo || !echo->isCstore || !running_) return;
+  if (echo->value == lastSeen_) {
+    const std::uint64_t credited = echo->desired - lastSeen_;
+    deficit_ -= std::min(deficit_, credited);
+    lastSeen_ = echo->desired;
+    ++refills_;
+  } else {
+    // A consumer claimed between our read and write: adopt the fresh value
+    // and retry within the period (the deficit is still owed).
+    lastSeen_ = echo->value;
+    if (retriesLeft_-- > 0) attempt();
+  }
+}
+
+// ------------------------------------------------------------- sender
+
+TokenBucketSender::TokenBucketSender(host::Host& sender,
+                                     host::PacedFlow& flow, Config config)
+    : sender_(sender), flow_(flow), config_(config),
+      rng_(config.jitterSeed) {
+  sender_.onTppResult([this](const core::ExecutedTpp& t) { onResult(t); });
+  flow_.setPacketHook([this](net::Packet&) {
+    const auto bytes = flow_.spec().payloadBytes;
+    budget_ = budget_ > bytes ? budget_ - bytes : 0;
+    if (budget_ < bytes) flow_.setRateBps(0.0);
+  });
+}
+
+void TokenBucketSender::start(sim::Time at) {
+  running_ = true;
+  flow_.setRateBps(0.0);  // gated until tokens arrive
+  flow_.start(at);
+  timer_ = sender_.simulator().scheduleAt(at, [this] { tryClaim(); });
+}
+
+void TokenBucketSender::stop() {
+  running_ = false;
+  timer_.cancel();
+  flow_.stop();
+}
+
+void TokenBucketSender::tryClaim() {
+  if (!running_ || claimInFlight_) return;
+  claimInFlight_ = true;
+  const auto& spec = flow_.spec();
+  if (lastSeen_ >= config_.chunkBytes) {
+    sender_.sendProbe(spec.dstMac, spec.dstIp,
+                      casProgram(config_.targetSwitchId,
+                                 config_.tokenAddress, lastSeen_,
+                                 lastSeen_ - config_.chunkBytes,
+                                 config_.taskId));
+  } else {
+    // Balance looks too low; refresh our view of the counter.
+    sender_.sendProbe(spec.dstMac, spec.dstIp,
+                      readProgram(config_.targetSwitchId,
+                                  config_.tokenAddress, config_.taskId));
+  }
+}
+
+void TokenBucketSender::pump() {
+  if (budget_ >= flow_.spec().payloadBytes &&
+      flow_.rateBps() == 0.0) {
+    flow_.setRateBps(flow_.spec().rateBps);
+  }
+}
+
+void TokenBucketSender::onResult(const core::ExecutedTpp& tpp) {
+  const auto echo =
+      parseCasEcho(tpp, config_.tokenAddress, config_.taskId);
+  if (!echo) return;
+  claimInFlight_ = false;
+  if (echo->isCstore) {
+    if (echo->value == lastSeen_) {  // swap succeeded: tokens are ours
+      lastSeen_ -= config_.chunkBytes;
+      budget_ += config_.chunkBytes;
+      claimed_ += config_.chunkBytes;
+      pump();
+    } else {
+      lastSeen_ = echo->value;
+      ++failed_;
+    }
+  } else {
+    lastSeen_ = echo->value;
+  }
+  if (!running_) return;
+  // Claim again: eagerly while tokens appear available, lazily otherwise;
+  // jittered so symmetric senders don't pile onto identical instants.
+  const auto base = lastSeen_ >= config_.chunkBytes ? sim::Time::us(50)
+                                                    : config_.retryDelay;
+  const auto jitter = sim::Time::ns(rng_.uniformInt(0, 200'000));
+  timer_ = sender_.simulator().schedule(base + jitter,
+                                        [this] { tryClaim(); });
+}
+
+}  // namespace tpp::apps

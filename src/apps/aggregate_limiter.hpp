@@ -1,0 +1,114 @@
+// Distributed aggregate rate limiting — end-hosts coordinating through
+// switch memory, built entirely from the paper's primitives.
+//
+// The paper's thesis is that "end-hosts can coordinate with the network to
+// implement a wide range of network tasks" given only reads, writes and an
+// atomic CSTORE. This task proves the point beyond the three §2 examples:
+// enforce ONE aggregate byte-rate across MANY senders, with no
+// sender-to-sender channel at all.
+//
+//   * The control plane allocates one SRAM word on a switch every sender
+//     traverses: the shared token counter (bytes).
+//   * A refiller (control-plane agent or any trusted host) periodically
+//     adds tokens with a CSTORE read-modify-write loop, capping at the
+//     bucket size.
+//   * Before transmitting a burst of B bytes, a sender claims tokens with
+//     a CEXEC-scoped CSTORE(tokens, t, t-B); a failed swap returns the
+//     observed balance, so retries converge without extra reads.
+//
+// Linearizability of CSTORE (§2.2) is exactly what makes the counter sane
+// under concurrent claims.
+#pragma once
+
+#include <cstdint>
+
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+// Periodically tops up the shared token word (runs at a trusted host; the
+// probes traverse `targetSwitchId` where the counter lives).
+class TokenRefiller {
+ public:
+  struct Config {
+    net::MacAddress dstMac;       // any destination beyond the switch
+    net::Ipv4Address dstIp;
+    std::uint32_t targetSwitchId = 1;
+    std::uint16_t tokenAddress = 0;   // SRAM virtual address
+    double aggregateRateBps = 10e6;   // refill rate
+    std::uint64_t bucketBytes = 64 * 1024;
+    sim::Time period = sim::Time::ms(10);
+    std::uint16_t taskId = 0;
+  };
+
+  TokenRefiller(host::Host& agent, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  std::uint64_t refills() const { return refills_; }
+
+ private:
+  void refill();
+  void attempt();
+  void onResult(const core::ExecutedTpp& tpp);
+
+  host::Host& agent_;
+  Config config_;
+  bool running_ = false;
+  sim::EventHandle timer_;
+  std::uint32_t lastSeen_ = 0;
+  // Earned-but-not-yet-credited bytes; survives failed CAS attempts so
+  // consumer contention never silently lowers the aggregate rate.
+  std::uint64_t deficit_ = 0;
+  int retriesLeft_ = 0;
+  std::uint64_t refills_ = 0;
+};
+
+// Gates a PacedFlow behind the shared token word: the flow only transmits
+// chunks whose bytes were claimed from the counter.
+class TokenBucketSender {
+ public:
+  struct Config {
+    std::uint32_t targetSwitchId = 1;
+    std::uint16_t tokenAddress = 0;
+    std::uint32_t chunkBytes = 4000;  // claim granularity
+    sim::Time retryDelay = sim::Time::ms(2);
+    std::uint16_t taskId = 0;
+    // Seed for retry jitter. Symmetric senders on a deterministic
+    // substrate would otherwise lose every CAS race to the same winner.
+    std::uint64_t jitterSeed = 1;
+  };
+
+  // `flow` must be constructed but not started; the sender drives it.
+  TokenBucketSender(host::Host& sender, host::PacedFlow& flow, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  std::uint64_t bytesClaimed() const { return claimed_; }
+  std::uint64_t claimsFailed() const { return failed_; }
+  std::uint64_t bytesSent() const { return flow_.bytesSent(); }
+
+ private:
+  void tryClaim();
+  void onResult(const core::ExecutedTpp& tpp);
+  void pump();
+
+  host::Host& sender_;
+  host::PacedFlow& flow_;
+  Config config_;
+  sim::Rng rng_;
+  bool running_ = false;
+  bool claimInFlight_ = false;
+  sim::EventHandle timer_;
+  std::uint32_t lastSeen_ = 0;
+  std::uint64_t claimed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t budget_ = 0;  // claimed bytes not yet transmitted
+};
+
+}  // namespace tpp::apps

@@ -1,0 +1,71 @@
+#include "src/apps/aimd.hpp"
+
+#include <algorithm>
+
+#include "src/net/byte_io.hpp"
+#include "src/net/ethernet.hpp"
+#include "src/net/ipv4.hpp"
+
+namespace tpp::apps {
+
+namespace {
+// Sequence number rides in payload bytes [8,16) (bytes [0,8) carry the
+// flow id written by PacedFlow).
+constexpr std::size_t kSeqOffset = net::kEthernetHeaderSize +
+                                   net::kIpv4HeaderSize +
+                                   net::kUdpHeaderSize + 8;
+}  // namespace
+
+AimdController::AimdController(host::PacedFlow& flow, host::Host& receiver,
+                               Config config)
+    : flow_(flow), config_(config) {
+  flow_.setPacketHook([this](net::Packet& packet) {
+    if (packet.size() >= kSeqOffset + 8) {
+      net::putBe64(packet.span(), kSeqOffset, seq_++);
+    }
+  });
+  receiver.bindUdp(flow_.spec().dstPort, [this](const host::UdpDatagram& d) {
+    if (d.payload.size() < 16) return;
+    const auto seq = net::getBe64(d.payload, 8);
+    if (!seq) return;
+    // Gap = packets lost in the bottleneck queue. (Reordering cannot occur
+    // on a single FIFO path.)
+    if (*seq > expectedSeq_) {
+      const auto lost = *seq - expectedSeq_;
+      lossesThisPeriod_ += lost;
+      totalLosses_ += lost;
+    }
+    expectedSeq_ = *seq + 1;
+  });
+}
+
+void AimdController::start(sim::Time at) {
+  running_ = true;
+  flow_.start(at);
+  timer_ = flow_.source().simulator().scheduleAt(at + config_.rtt,
+                                                 [this] { period(); });
+}
+
+void AimdController::stop() {
+  running_ = false;
+  timer_.cancel();
+  flow_.stop();
+}
+
+void AimdController::period() {
+  if (!running_) return;
+  double rate = flow_.rateBps();
+  if (lossesThisPeriod_ > 0) {
+    rate *= config_.multiplicativeDecrease;
+  } else {
+    rate += config_.additiveBps;
+  }
+  rate = std::max(rate, config_.minRateBps);
+  flow_.setRateBps(rate);
+  lossesThisPeriod_ = 0;
+  rateSeries_.add(flow_.source().simulator().now(), rate);
+  timer_ = flow_.source().simulator().schedule(config_.rtt,
+                                               [this] { period(); });
+}
+
+}  // namespace tpp::apps

@@ -1,0 +1,55 @@
+// AIMD baseline: a rate-based TCP-Reno-flavoured controller, the "TCP and
+// its variants still remain the dominant congestion control algorithms"
+// strawman of §2.2. It needs no network support at all — which is exactly
+// why it converges slowly compared to RCP/RCP*: each flow discovers its
+// fair share by filling the bottleneck queue until it drops.
+//
+// Mechanics: the sender stamps a sequence number into each packet; the
+// receiver detects gaps and reports them back to the controller (modelled
+// as an out-of-band ACK channel). Once per RTT the controller halves the
+// rate if any loss was reported, otherwise adds `additiveBps`.
+#pragma once
+
+#include <cstdint>
+
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+class AimdController {
+ public:
+  struct Config {
+    sim::Time rtt = sim::Time::ms(50);   // control period
+    double additiveBps = 100e3;          // increase per period
+    double minRateBps = 50e3;
+    double multiplicativeDecrease = 0.5;
+  };
+
+  // Installs the sequence-stamping hook on `flow` and a gap detector on
+  // the receiving host's flow port.
+  AimdController(host::PacedFlow& flow, host::Host& receiver, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  double currentRateBps() const { return flow_.rateBps(); }
+  std::uint64_t lossesDetected() const { return totalLosses_; }
+  const sim::TimeSeries& rateSeries() const { return rateSeries_; }
+
+ private:
+  void period();
+
+  host::PacedFlow& flow_;
+  Config config_;
+  bool running_ = false;
+  sim::EventHandle timer_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t expectedSeq_ = 0;
+  std::uint64_t lossesThisPeriod_ = 0;
+  std::uint64_t totalLosses_ = 0;
+  sim::TimeSeries rateSeries_;
+};
+
+}  // namespace tpp::apps

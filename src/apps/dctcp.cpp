@@ -1,0 +1,73 @@
+#include "src/apps/dctcp.hpp"
+
+#include <algorithm>
+
+#include "src/net/ipv4.hpp"
+
+namespace tpp::apps {
+
+DctcpController::DctcpController(host::PacedFlow& flow, host::Host& receiver,
+                                 Config config)
+    : flow_(flow), config_(config) {
+  // Senders mark their traffic ECN-capable so switches may CE-mark it.
+  flow_.setPacketHook([](net::Packet& packet) {
+    auto bytes = packet.span();
+    if (bytes.size() < net::kEthernetHeaderSize + net::kIpv4HeaderSize) {
+      return;
+    }
+    auto ip = bytes.subspan(net::kEthernetHeaderSize);
+    ip[1] = static_cast<std::uint8_t>((ip[1] & ~0x03) | net::kEcnEct0);
+    // Refresh the checksum after touching the TOS byte.
+    ip[10] = 0;
+    ip[11] = 0;
+    const auto sum = net::internetChecksum(ip.first(net::kIpv4HeaderSize));
+    ip[10] = static_cast<std::uint8_t>(sum >> 8);
+    ip[11] = static_cast<std::uint8_t>(sum);
+  });
+  receiver.bindUdp(flow_.spec().dstPort, [this](const host::UdpDatagram& d) {
+    ++packetsThisPeriod_;
+    if (d.ecn == net::kEcnCe) {
+      ++markedThisPeriod_;
+      ++totalMarked_;
+    }
+  });
+}
+
+void DctcpController::start(sim::Time at) {
+  running_ = true;
+  flow_.start(at);
+  timer_ = flow_.source().simulator().scheduleAt(at + config_.rtt,
+                                                 [this] { period(); });
+}
+
+void DctcpController::stop() {
+  running_ = false;
+  timer_.cancel();
+  flow_.stop();
+}
+
+void DctcpController::period() {
+  if (!running_) return;
+  const double frac =
+      packetsThisPeriod_ > 0
+          ? static_cast<double>(markedThisPeriod_) /
+                static_cast<double>(packetsThisPeriod_)
+          : 0.0;
+  alpha_ = (1.0 - config_.gain) * alpha_ + config_.gain * frac;
+
+  double rate = flow_.rateBps();
+  if (markedThisPeriod_ > 0) {
+    rate *= 1.0 - alpha_ / 2.0;
+  } else {
+    rate += config_.additiveBps;
+  }
+  rate = std::max(rate, config_.minRateBps);
+  flow_.setRateBps(rate);
+  packetsThisPeriod_ = 0;
+  markedThisPeriod_ = 0;
+  rateSeries_.add(flow_.source().simulator().now(), rate);
+  timer_ = flow_.source().simulator().schedule(config_.rtt,
+                                               [this] { period(); });
+}
+
+}  // namespace tpp::apps

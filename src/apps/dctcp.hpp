@@ -1,0 +1,53 @@
+// DCTCP-style controller: the ECN-based middle ground between blind AIMD
+// and RCP's explicit rates. The switch marks CE above a queue threshold
+// (SwitchConfig::ecnThresholdBytes); the receiver reports the fraction of
+// marked packets; the sender scales back proportionally to that fraction
+// (rate *= 1 - alpha/2) instead of halving on any loss.
+//
+// Included as a second fixed-function baseline (§4 mentions ECN expressly):
+// it shows what one hard-wired bit buys — low standing queues — and what
+// it cannot: explicit fair shares or per-hop attribution.
+#pragma once
+
+#include <cstdint>
+
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+class DctcpController {
+ public:
+  struct Config {
+    sim::Time rtt = sim::Time::ms(50);  // control period
+    double additiveBps = 100e3;
+    double minRateBps = 50e3;
+    double gain = 1.0 / 16.0;  // g in alpha = (1-g)*alpha + g*frac
+  };
+
+  DctcpController(host::PacedFlow& flow, host::Host& receiver, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  double currentRateBps() const { return flow_.rateBps(); }
+  double alpha() const { return alpha_; }
+  std::uint64_t markedSeen() const { return totalMarked_; }
+  const sim::TimeSeries& rateSeries() const { return rateSeries_; }
+
+ private:
+  void period();
+
+  host::PacedFlow& flow_;
+  Config config_;
+  bool running_ = false;
+  sim::EventHandle timer_;
+  std::uint64_t packetsThisPeriod_ = 0;
+  std::uint64_t markedThisPeriod_ = 0;
+  std::uint64_t totalMarked_ = 0;
+  double alpha_ = 0.0;
+  sim::TimeSeries rateSeries_;
+};
+
+}  // namespace tpp::apps

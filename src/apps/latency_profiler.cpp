@@ -1,0 +1,85 @@
+#include "src/apps/latency_profiler.hpp"
+
+#include "src/core/memory_map.hpp"
+#include "src/host/collector.hpp"
+
+namespace tpp::apps {
+
+namespace {
+enum Column : std::size_t {
+  kSwitchId = 0,
+  kTimeLo = 1,
+  kQueueBytes = 2,
+  kCapacityMbps = 3,
+};
+constexpr std::size_t kWordsPerHop = 4;
+}  // namespace
+
+core::Program makeLatencyProbeProgram(std::size_t maxHops,
+                                      std::uint16_t taskId) {
+  core::ProgramBuilder b;
+  b.task(taskId);
+  b.mode(core::AddressingMode::Hop);
+  b.perHop(kWordsPerHop);
+  b.load(core::addr::SwitchId, kSwitchId);
+  b.load(core::addr::TimeLo, kTimeLo);
+  b.load(core::addr::QueueBytes, kQueueBytes);
+  b.load(core::addr::LinkCapacityMbps, kCapacityMbps);
+  b.reserve(static_cast<std::uint8_t>(kWordsPerHop * maxHops));
+  return *b.build();
+}
+
+LatencyProfiler::LatencyProfiler(host::Host& prober, Config config)
+    : prober_(prober), config_(config),
+      program_(makeLatencyProbeProgram(config.maxHops, config.taskId)) {
+  prober_.onTppResult([this](const core::ExecutedTpp& tpp) { onResult(tpp); });
+}
+
+void LatencyProfiler::start(sim::Time at) {
+  running_ = true;
+  pending_ = prober_.simulator().scheduleAt(at, [this] { probe(); });
+}
+
+void LatencyProfiler::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void LatencyProfiler::probe() {
+  if (!running_) return;
+  prober_.sendProbe(config_.dstMac, config_.dstIp, program_);
+  ++sent_;
+  pending_ = prober_.simulator().schedule(config_.interval,
+                                          [this] { probe(); });
+}
+
+void LatencyProfiler::onResult(const core::ExecutedTpp& tpp) {
+  if (tpp.header.taskId != config_.taskId ||
+      tpp.header.mode != core::AddressingMode::Hop ||
+      tpp.header.perHopWords != kWordsPerHop) {
+    return;
+  }
+  const auto records = host::splitHopRecords(tpp);
+  if (records.empty()) return;
+  ++received_;
+  if (records.size() > hops_.size()) hops_.resize(records.size());
+
+  for (std::size_t h = 0; h < records.size(); ++h) {
+    auto& report = hops_[h];
+    report.switchId = records[h][kSwitchId];
+    report.queueBytes.add(records[h][kQueueBytes]);
+    const double capMbps = records[h][kCapacityMbps];
+    if (capMbps > 0) {
+      report.queueDelayUs.add(records[h][kQueueBytes] * 8.0 /
+                              (capMbps * 1e6) * 1e6);
+    }
+    if (h + 1 < records.size()) {
+      // Dataplane clocks are 32-bit ns registers; unsigned subtraction
+      // handles a single wraparound between hops.
+      const std::uint32_t dt = records[h + 1][kTimeLo] - records[h][kTimeLo];
+      report.segmentDelayUs.add(dt / 1000.0);
+    }
+  }
+}
+
+}  // namespace tpp::apps

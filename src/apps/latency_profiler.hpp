@@ -1,0 +1,72 @@
+// Per-hop latency breakdown (paper §2.1: "the end-host knows exactly how
+// to interpret values in the packet to obtain a detailed breakdown of
+// queueing latencies on all network hops").
+//
+// A hop-addressed TPP records, at every switch, a 4-word record:
+//     [Switch:SwitchID, Switch:TimeLo, Queue:QueueSize, Link:CapacityMbps]
+// From one probe the sender derives, per hop:
+//   segment delay   t(h+1) - t(h): everything between consecutive TCPUs
+//                   (residual serialization + queueing + propagation);
+//   queueing delay  queueBytes * 8 / linkRate: the component the paper's
+//                   micro-burst story cares about.
+// The timestamps come from the switches' dataplane clocks; the simulation
+// substrate keeps them perfectly synchronized (a real deployment would
+// bound skew with PTP — the queue-depth column needs no synchronization
+// at all).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/program.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+// The hop-mode profiling program (4 words per hop).
+core::Program makeLatencyProbeProgram(std::size_t maxHops = 8,
+                                      std::uint16_t taskId = 0);
+
+class LatencyProfiler {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    sim::Time interval = sim::Time::ms(1);
+    std::size_t maxHops = 8;
+    std::uint16_t taskId = 0;
+  };
+
+  LatencyProfiler(host::Host& prober, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  struct HopReport {
+    std::uint32_t switchId = 0;
+    sim::Summary segmentDelayUs;  // to the next hop (last hop: absent)
+    sim::Summary queueDelayUs;    // queueBytes*8/capacity at this hop
+    sim::Summary queueBytes;
+  };
+
+  std::size_t hopsObserved() const { return hops_.size(); }
+  const HopReport& hop(std::size_t h) const { return hops_.at(h); }
+  std::uint64_t probesSent() const { return sent_; }
+  std::uint64_t resultsReceived() const { return received_; }
+
+ private:
+  void probe();
+  void onResult(const core::ExecutedTpp& tpp);
+
+  host::Host& prober_;
+  Config config_;
+  core::Program program_;
+  bool running_ = false;
+  sim::EventHandle pending_;
+  std::vector<HopReport> hops_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace tpp::apps

@@ -1,0 +1,87 @@
+#include "src/apps/mesh_prober.hpp"
+
+namespace tpp::apps {
+
+MeshProber::MeshProber(std::vector<Pair> pairs, Config config)
+    : pairs_(std::move(pairs)), config_(config),
+      program_(makeTraceProgram(config.maxHops, config.taskId)),
+      health_(pairs_.size()), answeredAtSweepStart_(pairs_.size(), 0) {
+  // One result handler per pair, registered on the pair's source host.
+  // Pairs are disambiguated by task id (base + index), so several pairs
+  // may share a source host.
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    pairs_[i].src->onTppResult([this, i](const core::ExecutedTpp& tpp) {
+      onResult(i, tpp);
+    });
+  }
+}
+
+void MeshProber::start(sim::Time at) {
+  running_ = true;
+  timer_ = pairs_.front().src->simulator().scheduleAt(at,
+                                                      [this] { sweep(); });
+}
+
+void MeshProber::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void MeshProber::sweep() {
+  if (!running_) return;
+  if (sweeps_ > 0 || health_[0].sent > 0) ++sweeps_;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    answeredAtSweepStart_[i] = health_[i].answered;
+    pairs_.front().src->simulator().schedule(
+        config_.pairSpacing * static_cast<std::int64_t>(i),
+        [this, i] { probePair(i); });
+  }
+  timer_ = pairs_.front().src->simulator().schedule(config_.sweepInterval,
+                                                    [this] { sweep(); });
+}
+
+void MeshProber::probePair(std::size_t index) {
+  if (!running_) return;
+  auto& pair = pairs_[index];
+  // Per-pair task id disambiguates echoes on shared source hosts.
+  auto program = program_;
+  program.taskId =
+      static_cast<std::uint16_t>(config_.taskId + index + 1);
+  health_[index].lastSentAtNs = pair.src->simulator().now().nanos();
+  pair.src->sendProbe(pair.dst->mac(), pair.dst->ip(), program);
+  ++health_[index].sent;
+}
+
+void MeshProber::onResult(std::size_t index,
+                          const core::ExecutedTpp& tpp) {
+  auto& h = health_[index];
+  if (tpp.header.taskId !=
+      static_cast<std::uint16_t>(config_.taskId + index + 1)) {
+    return;
+  }
+  if (tpp.instructions.size() != 3 ||
+      tpp.instructions[0].op != core::Opcode::Push) {
+    return;
+  }
+  ++h.answered;
+  const auto now = pairs_[index].src->simulator().now();
+  h.rttUs.add((now - sim::Time::ns(h.lastSentAtNs)).toMicros());
+  const auto trace = parseTrace(tpp);
+  std::vector<std::uint32_t> path;
+  for (const auto& hop : trace.hops) path.push_back(hop.switchId);
+  if (!h.lastPath.empty() && path != h.lastPath) h.pathChanged = true;
+  h.lastPath = std::move(path);
+}
+
+std::vector<std::size_t> MeshProber::unreachablePairs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    if (health_[i].sent > 0 &&
+        health_[i].answered == answeredAtSweepStart_[i]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace tpp::apps

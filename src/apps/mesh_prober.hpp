@@ -1,0 +1,72 @@
+// Mesh prober: fabric-wide health monitoring from the edge (the
+// Pingmesh-style deployment the paper's edge-centric design implies).
+//
+// One coordinator sweeps trace probes across a set of host pairs; every
+// answer yields the pair's live path and per-hop reachability. Because the
+// probes are ordinary TPPs, the same sweep simultaneously verifies
+// forwarding (ndb-style) and measures RTT — no per-switch agents, no
+// mirror sessions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/apps/ndb.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+class MeshProber {
+ public:
+  struct Pair {
+    host::Host* src = nullptr;
+    host::Host* dst = nullptr;
+  };
+
+  struct Config {
+    sim::Time sweepInterval = sim::Time::ms(100);  // between full sweeps
+    sim::Time pairSpacing = sim::Time::us(100);    // between pair probes
+    std::size_t maxHops = 8;
+    std::uint16_t taskId = 0;
+  };
+
+  struct PairHealth {
+    std::uint64_t sent = 0;
+    std::uint64_t answered = 0;
+    std::int64_t lastSentAtNs = 0;
+    sim::Summary rttUs;
+    std::vector<std::uint32_t> lastPath;  // switch ids
+    bool pathChanged = false;             // any sweep-to-sweep difference
+  };
+
+  MeshProber(std::vector<Pair> pairs, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  std::size_t pairCount() const { return pairs_.size(); }
+  const PairHealth& health(std::size_t pair) const {
+    return health_.at(pair);
+  }
+  // Pairs whose probes went unanswered in the latest completed sweep.
+  std::vector<std::size_t> unreachablePairs() const;
+  std::size_t sweepsCompleted() const { return sweeps_; }
+
+ private:
+  void sweep();
+  void probePair(std::size_t index);
+  void onResult(std::size_t index, const core::ExecutedTpp& tpp);
+
+  std::vector<Pair> pairs_;
+  Config config_;
+  core::Program program_;
+  bool running_ = false;
+  sim::EventHandle timer_;
+  std::vector<PairHealth> health_;
+  std::vector<std::uint64_t> answeredAtSweepStart_;
+  std::size_t sweeps_ = 0;
+};
+
+}  // namespace tpp::apps

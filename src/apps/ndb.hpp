@@ -1,0 +1,135 @@
+// ndb — the forwarding-plane debugger refactored over TPPs (paper §2.3).
+//
+// Each traced packet carries
+//     PUSH [Switch:ID]
+//     PUSH [PacketMetadata:MatchedEntryID]
+//     PUSH [PacketMetadata:InputPort]
+// so the receiver reconstructs, per hop, which switch forwarded it, which
+// version-stamped flow entry matched, and on which port it arrived —
+// without the network generating the truncated packet copies the original
+// ndb [8] requires.
+//
+// The IntentStore holds the control plane's expected (switch, entry) path;
+// comparing it against observed traces flags control/dataplane divergence:
+// wrong paths, stale (old-version) entries, or unexpected switches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/program.hpp"
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+
+namespace tpp::apps {
+
+// The §2.3 trace program (3 pushed words per hop).
+core::Program makeTraceProgram(std::size_t maxHops = 8,
+                               std::uint16_t taskId = 0);
+
+struct HopTrace {
+  std::uint32_t switchId = 0;
+  std::uint32_t matchedEntryId = 0;  // packed (version << 16) | id
+  std::uint32_t inputPort = 0;
+
+  std::uint16_t entryVersion() const {
+    return static_cast<std::uint16_t>(matchedEntryId >> 16);
+  }
+  std::uint16_t entryIndex() const {
+    return static_cast<std::uint16_t>(matchedEntryId);
+  }
+};
+
+struct PacketTrace {
+  std::vector<HopTrace> hops;
+  bool faulted = false;
+};
+
+// Parses a fully-executed trace TPP into per-hop records.
+PacketTrace parseTrace(const core::ExecutedTpp& tpp);
+
+// Control-plane intent: the path (and exact table entries) a class of
+// packets is supposed to take.
+class IntentStore {
+ public:
+  struct ExpectedHop {
+    std::uint32_t switchId = 0;
+    std::uint32_t matchedEntryId = 0;  // packed; 0 = any entry is fine
+  };
+
+  void setExpectedPath(std::vector<ExpectedHop> path) {
+    path_ = std::move(path);
+  }
+  const std::vector<ExpectedHop>& expectedPath() const { return path_; }
+
+  // Builds intent from a known-good trace taken while the network was in
+  // its intended state — the practical way an operator snapshots intent
+  // without mirroring every switch's tables.
+  static IntentStore fromGoldenTrace(const PacketTrace& golden) {
+    IntentStore store;
+    std::vector<ExpectedHop> path;
+    for (const auto& hop : golden.hops) {
+      path.push_back({hop.switchId, hop.matchedEntryId});
+    }
+    store.setExpectedPath(std::move(path));
+    return store;
+  }
+
+  enum class DivergenceKind {
+    PathLengthMismatch,  // trace shorter/longer than intent
+    WrongSwitch,         // packet visited an unexpected switch
+    WrongEntry,          // right switch, different table entry
+    StaleVersion,        // right entry, but an outdated version forwarded it
+  };
+
+  struct Divergence {
+    std::size_t hop = 0;
+    DivergenceKind kind;
+    std::uint32_t expected = 0;
+    std::uint32_t observed = 0;
+  };
+
+  // Empty result = the dataplane forwarded exactly as intended.
+  std::vector<Divergence> check(const PacketTrace& trace) const;
+
+ private:
+  std::vector<ExpectedHop> path_;
+};
+
+std::string divergenceKindName(IntentStore::DivergenceKind kind);
+
+// Receiver-side trace collection: hook a host's TPP arrivals and keep the
+// reconstructed traces (§2.3's "reassembled by servers"). Only TPPs whose
+// program matches makeTraceProgram's shape (and, if non-zero, `taskId`)
+// are collected — other tasks' TPPs on the same host are ignored.
+class TraceCollector {
+ public:
+  explicit TraceCollector(host::Host& receiver, std::uint16_t taskId = 0);
+
+  const std::vector<PacketTrace>& traces() const { return traces_; }
+  std::size_t count() const { return traces_.size(); }
+  void clear() { traces_.clear(); }
+
+ private:
+  std::vector<PacketTrace> traces_;
+};
+
+// Overhead model of the original ndb's approach for comparison: each hop
+// emits a truncated copy (headerBytes + metadata) to a collector, so a
+// packet traversing H hops costs H * (copyBytes + collectorHeaders) extra
+// network bytes, versus the TPP's fixed in-packet cost.
+struct NdbCopyOverheadModel {
+  std::size_t copyBytes = 64;             // truncated packet copy
+  std::size_t encapsulationBytes = 42;    // eth+ip+udp to reach collector
+
+  std::size_t bytesPerPacket(std::size_t hops) const {
+    return hops * (copyBytes + encapsulationBytes);
+  }
+};
+
+// TPP trace cost for the same packet (shim + instructions + per-hop data).
+std::size_t tppTraceBytesPerPacket(std::size_t hops);
+
+}  // namespace tpp::apps

@@ -1,0 +1,129 @@
+#include "src/apps/rcpstar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::apps {
+
+namespace addr = core::addr;
+
+core::Program makeRcpCollectProgram(std::size_t maxHops,
+                                    std::uint16_t taskId) {
+  core::ProgramBuilder b;
+  b.task(taskId);
+  b.push(addr::SwitchId);
+  b.push(addr::PortQueueBytes);     // [Link:QueueSize]
+  b.push(addr::TxUtilization);      // offered load on the egress link
+  b.push(addr::LinkCapacityMbps);
+  b.push(addr::RcpRateRegister);    // [Link:RCP-RateRegister]
+  b.reserve(static_cast<std::uint8_t>(5 * maxHops));
+  return *b.build();
+}
+
+core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
+                                   std::uint32_t newRateKbps,
+                                   std::uint16_t taskId) {
+  core::ProgramBuilder b;
+  b.task(taskId);
+  // CEXEC [Switch:SwitchID], 0xFFFFFFFF, $BottleneckSwitchID
+  b.cexec(addr::SwitchId, 0xffffffffu, bottleneckSwitchId);
+  // STORE [Link:RCP-RateRegister], [PacketMemory:Offset]
+  b.storeImm(addr::RcpRateRegister, newRateKbps);
+  return *b.build();
+}
+
+RcpStarController::RcpStarController(host::Host& sender,
+                                     host::PacedFlow& flow, Config config)
+    : sender_(sender), flow_(flow), config_(config),
+      collectProgram_(makeRcpCollectProgram(config.maxHops, config.taskId)) {
+  sender_.onTppResult([this](const core::ExecutedTpp& tpp) { onResult(tpp); });
+}
+
+void RcpStarController::start(sim::Time at) {
+  running_ = true;
+  probeTimer_ =
+      sender_.simulator().scheduleAt(at, [this] { sendCollectProbe(); });
+  periodTimer_ = sender_.simulator().scheduleAt(
+      at + config_.period, [this] { computeAndUpdate(); });
+}
+
+void RcpStarController::stop() {
+  running_ = false;
+  probeTimer_.cancel();
+  periodTimer_.cancel();
+}
+
+void RcpStarController::sendCollectProbe() {
+  if (!running_) return;
+  sender_.sendProbe(config_.dstMac, config_.dstIp, collectProgram_);
+  probeTimer_ = sender_.simulator().schedule(
+      config_.period /
+          static_cast<std::int64_t>(std::max<std::size_t>(
+              config_.probesPerPeriod, 1)),
+      [this] { sendCollectProbe(); });
+}
+
+void RcpStarController::onResult(const core::ExecutedTpp& tpp) {
+  // Only this task's collect-phase echoes carry hop records (the Phase-3
+  // update program pushes nothing, and other tasks carry other taskIds).
+  if (tpp.header.taskId != config_.taskId || tpp.instructions.empty() ||
+      tpp.instructions.front().op != core::Opcode::Push) {
+    return;
+  }
+  auto records = host::splitStackRecords(tpp, kValuesPerHop);
+  if (records.empty()) return;
+  averager_.add(records);
+  lastRecords_ = std::move(records);
+}
+
+void RcpStarController::computeAndUpdate() {
+  if (!running_) return;
+
+  if (!lastRecords_.empty()) {
+    // Phase 2: per-link control equation on collected samples.
+    const double T = config_.period.toSeconds();
+    linkRatesBps_.assign(lastRecords_.size(), 0.0);
+    double minRate = std::numeric_limits<double>::infinity();
+    std::size_t minHop = 0;
+    for (std::size_t h = 0; h < lastRecords_.size(); ++h) {
+      const auto& rec = lastRecords_[h];
+      const double capacity = static_cast<double>(rec[kCapacityMbps]) * 1e6;
+      if (capacity <= 0) continue;
+      const double offered =
+          averager_.mean(h, kUtilizationPpm) / 1e6 * capacity;
+      const double avgQueueBits = averager_.mean(h, kQueueBytes) * 8.0;
+      const double prevRate = static_cast<double>(rec[kRateKbps]) * 1000.0;
+      const double next = rcp::rcpStep(prevRate, capacity, offered,
+                                       avgQueueBits, T, config_.params);
+      linkRatesBps_[h] = next;
+      if (next < minRate) {
+        minRate = next;
+        minHop = h;
+      }
+    }
+
+    if (std::isfinite(minRate)) {
+      bottleneckSwitchId_ = lastRecords_[minHop][kSwitchId];
+      // Phase 3: update only the bottleneck link's register.
+      const auto update = makeRcpUpdateProgram(
+          bottleneckSwitchId_, static_cast<std::uint32_t>(minRate / 1000.0),
+          config_.taskId);
+      sender_.sendProbe(config_.dstMac, config_.dstIp, update);
+      ++updates_;
+
+      // The flow transmits at its path's fair share.
+      currentRateBps_ = minRate;
+      flow_.setRateBps(minRate);
+    }
+  }
+  rateSeries_.add(sender_.simulator().now(), currentRateBps_);
+  averager_.reset();
+
+  periodTimer_ = sender_.simulator().schedule(config_.period,
+                                              [this] { computeAndUpdate(); });
+}
+
+}  // namespace tpp::apps

@@ -1,0 +1,101 @@
+// RCP* — the end-host refactoring of RCP (paper §2.2).
+//
+// Per control period T, each flow's rate controller runs three phases:
+//
+//   Phase 1 (Collect)  Probe TPPs gather, per hop: switch id, egress queue
+//                      bytes, offered-load utilization, link capacity, and
+//                      the link's fair-share rate register.
+//   Phase 2 (Compute)  The sender averages the queue samples, evaluates the
+//                      RCP control equation per link, and identifies the
+//                      bottleneck (the minimum R_link).
+//   Phase 3 (Update)   A CEXEC-guarded TPP writes the new R into ONLY the
+//                      bottleneck switch's rate register — the sender never
+//                      needs to know the route to that switch.
+//
+// The switch contributes nothing but reads, a conditional-execute and a
+// write; the control law lives entirely at the end-host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/program.hpp"
+#include "src/host/collector.hpp"
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+#include "src/rcp/rcp.hpp"
+#include "src/sim/stats.hpp"
+
+namespace tpp::apps {
+
+// The Phase-1 collect program (5 pushed words per hop).
+core::Program makeRcpCollectProgram(std::size_t maxHops = 8,
+                                    std::uint16_t taskId = 0);
+// The Phase-3 update program: execute only on `bottleneckSwitchId`, store
+// `newRateKbps` into the link's rate register.
+core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
+                                   std::uint32_t newRateKbps,
+                                   std::uint16_t taskId = 0);
+
+class RcpStarController {
+ public:
+  struct Config {
+    rcp::RcpParams params;
+    sim::Time period = sim::Time::ms(10);  // control period T
+    std::size_t probesPerPeriod = 4;
+    std::size_t maxHops = 8;
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    std::uint16_t taskId = 0;
+    // Offered-load smoothing: use the utilization register as-is.
+  };
+
+  // Drives `flow`'s rate from the fair-share registers along its path.
+  RcpStarController(host::Host& sender, host::PacedFlow& flow, Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  double currentRateBps() const { return currentRateBps_; }
+  // Rate assigned to the flow over time (for Fig 2's R(t)/C series).
+  const sim::TimeSeries& rateSeries() const { return rateSeries_; }
+  // Most recent per-link computed R (bps), ordered by hop.
+  const std::vector<double>& linkRatesBps() const { return linkRatesBps_; }
+  std::uint32_t bottleneckSwitchId() const { return bottleneckSwitchId_; }
+  std::uint64_t updatesSent() const { return updates_; }
+
+ private:
+  static constexpr std::size_t kValuesPerHop = 5;
+  // Value column layout within a hop record.
+  enum Column : std::size_t {
+    kSwitchId = 0,
+    kQueueBytes = 1,
+    kUtilizationPpm = 2,
+    kCapacityMbps = 3,
+    kRateKbps = 4,
+  };
+
+  void sendCollectProbe();
+  void onResult(const core::ExecutedTpp& tpp);
+  void computeAndUpdate();
+
+  host::Host& sender_;
+  host::PacedFlow& flow_;
+  Config config_;
+  core::Program collectProgram_;
+  bool running_ = false;
+  sim::EventHandle probeTimer_;
+  sim::EventHandle periodTimer_;
+
+  host::HopSampleAverager averager_{kValuesPerHop};
+  // Last raw record per hop (for the non-averaged columns).
+  std::vector<host::HopRecord> lastRecords_;
+
+  double currentRateBps_ = 0;
+  std::vector<double> linkRatesBps_;
+  std::uint32_t bottleneckSwitchId_ = 0;
+  std::uint64_t updates_ = 0;
+  sim::TimeSeries rateSeries_;
+};
+
+}  // namespace tpp::apps

@@ -1,0 +1,38 @@
+#include "src/asic/parser.hpp"
+
+namespace tpp::asic {
+
+std::optional<ParsedPacket> parsePacket(net::Packet& packet) {
+  ParsedPacket out;
+  const auto eth = net::EthernetHeader::parse(packet.span());
+  if (!eth) return std::nullopt;
+  out.eth = *eth;
+  out.effectiveEtherType = eth->etherType;
+
+  std::size_t l3Offset = net::kEthernetHeaderSize;
+  if (eth->etherType == net::kEtherTypeTpp) {
+    const auto view = core::TppView::at(packet, net::kEthernetHeaderSize);
+    if (!view) return std::nullopt;  // malformed TPP: drop
+    out.tppOffset = net::kEthernetHeaderSize;
+    out.effectiveEtherType = view->innerEtherType();
+    l3Offset = view->payloadOffset();
+  }
+
+  if (out.effectiveEtherType == net::kEtherTypeIpv4) {
+    const auto bytes = packet.span();
+    if (l3Offset <= bytes.size()) {
+      out.ip = net::Ipv4Header::parse(bytes.subspan(l3Offset));
+      out.ipOffset = l3Offset;
+      if (out.ip && out.ip->protocol == net::kIpProtoUdp) {
+        const std::size_t udpOffset = l3Offset + net::kIpv4HeaderSize;
+        if (udpOffset <= bytes.size()) {
+          out.udp = net::UdpHeader::parse(bytes.subspan(udpOffset));
+          out.l4PayloadOffset = udpOffset + net::kUdpHeaderSize;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tpp::asic

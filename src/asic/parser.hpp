@@ -1,0 +1,35 @@
+// Header parser stage (paper Fig 3): extracts the fields the lookup tables
+// and the TCPU need. For TPP packets, forwarding fields come from the
+// encapsulated payload — a TPP shim is transparent to routing ("TPPs are
+// forwarded just like other packets").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/header.hpp"
+#include "src/net/ethernet.hpp"
+#include "src/net/ipv4.hpp"
+#include "src/net/packet.hpp"
+
+namespace tpp::asic {
+
+struct ParsedPacket {
+  net::EthernetHeader eth;
+  // Byte offset of the TPP header if the frame carries one.
+  std::optional<std::size_t> tppOffset;
+  // The ethertype that determines forwarding: the outer one, or the TPP
+  // shim's innerEtherType.
+  std::uint16_t effectiveEtherType = 0;
+  std::optional<net::Ipv4Header> ip;
+  std::size_t ipOffset = 0;  // valid when ip is set
+  std::optional<net::UdpHeader> udp;
+  std::size_t l4PayloadOffset = 0;  // valid when udp is set
+};
+
+// Returns nullopt only for frames too short to carry an Ethernet header or
+// whose TPP shim is malformed (lengths overrun the buffer); a parse failure
+// means the pipeline drops the packet.
+std::optional<ParsedPacket> parsePacket(net::Packet& packet);
+
+}  // namespace tpp::asic

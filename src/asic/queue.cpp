@@ -1,0 +1,65 @@
+#include "src/asic/queue.hpp"
+
+namespace tpp::asic {
+
+bool EgressQueue::enqueue(net::PacketPtr packet) {
+  const std::uint64_t size = packet->size();
+  if (stats_.bytes + size > capacityBytes_) {
+    stats_.droppedBytes += size;
+    ++stats_.droppedPackets;
+    return false;
+  }
+  stats_.bytes += size;
+  ++stats_.packets;
+  stats_.enqueuedBytes += size;
+  ++stats_.enqueuedPackets;
+  fifo_.push_back(std::move(packet));
+  return true;
+}
+
+net::PacketPtr EgressQueue::dequeue() {
+  if (fifo_.empty()) return nullptr;
+  net::PacketPtr p = std::move(fifo_.front());
+  fifo_.pop_front();
+  stats_.bytes -= p->size();
+  --stats_.packets;
+  return p;
+}
+
+PortQueueBank::PortQueueBank(std::size_t queues,
+                             std::uint64_t capacityPerQueue) {
+  queues_.reserve(queues);
+  for (std::size_t i = 0; i < queues; ++i) queues_.emplace_back(capacityPerQueue);
+}
+
+std::uint64_t PortQueueBank::totalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q.bytes();
+  return total;
+}
+
+bool PortQueueBank::allEmpty() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> PortQueueBank::nextNonEmpty(bool strictPriority) {
+  if (strictPriority) {
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      if (!queues_[i].empty()) return i;
+    }
+    return std::nullopt;
+  }
+  for (std::size_t step = 0; step < queues_.size(); ++step) {
+    const std::size_t i = (rrCursor_ + step) % queues_.size();
+    if (!queues_[i].empty()) {
+      rrCursor_ = (i + 1) % queues_.size();
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tpp::asic

@@ -1,0 +1,66 @@
+// Egress queueing: per-port banks of drop-tail FIFO queues backed by the
+// shared packet buffer (paper Fig 3's "egress queues and scheduling").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/asic/stats.hpp"
+#include "src/net/packet.hpp"
+
+namespace tpp::asic {
+
+class EgressQueue {
+ public:
+  explicit EgressQueue(std::uint64_t capacityBytes)
+      : capacityBytes_(capacityBytes) {}
+  // deque<unique_ptr> falsely advertises copyability to std::vector; be
+  // explicit so vector growth uses moves.
+  EgressQueue(EgressQueue&&) = default;
+  EgressQueue& operator=(EgressQueue&&) = default;
+  EgressQueue(const EgressQueue&) = delete;
+  EgressQueue& operator=(const EgressQueue&) = delete;
+
+  // Drop-tail admission: false (and drop accounting) when the packet would
+  // overflow the buffer.
+  bool enqueue(net::PacketPtr packet);
+  net::PacketPtr dequeue();
+
+  bool empty() const { return fifo_.empty(); }
+  std::uint64_t bytes() const { return stats_.bytes; }
+  std::uint64_t packets() const { return stats_.packets; }
+  std::uint64_t capacityBytes() const { return capacityBytes_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t capacityBytes_;
+  std::deque<net::PacketPtr> fifo_;
+  QueueStats stats_;
+};
+
+// One port's queue bank plus transmit state for the scheduler.
+class PortQueueBank {
+ public:
+  PortQueueBank(std::size_t queues, std::uint64_t capacityPerQueue);
+
+  EgressQueue& queue(std::size_t i) { return queues_[i]; }
+  const EgressQueue& queue(std::size_t i) const { return queues_[i]; }
+  std::size_t queueCount() const { return queues_.size(); }
+
+  std::uint64_t totalBytes() const;
+  bool allEmpty() const;
+  // Picks the next queue to serve: round-robin across non-empty queues, or
+  // — when strictPriority — always the lowest-numbered non-empty queue
+  // (queue 0 is highest priority). nullopt when all queues are empty.
+  std::optional<std::size_t> nextNonEmpty(bool strictPriority = false);
+
+  bool transmitting = false;
+
+ private:
+  std::vector<EgressQueue> queues_;
+  std::size_t rrCursor_ = 0;
+};
+
+}  // namespace tpp::asic

@@ -1,0 +1,2 @@
+// stats is header-only today; this TU anchors the library target.
+#include "src/asic/stats.hpp"

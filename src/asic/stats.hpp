@@ -1,0 +1,62 @@
+// Statistics banks the ASIC's memory manager keeps in registers (paper
+// Table 2). These are the ground truth the unified address space exposes to
+// TPPs; tests compare TPP-read values against these structs directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/time.hpp"
+
+namespace tpp::asic {
+
+struct QueueStats {
+  std::uint64_t bytes = 0;            // current occupancy
+  std::uint64_t packets = 0;
+  std::uint64_t enqueuedBytes = 0;    // cumulative
+  std::uint64_t enqueuedPackets = 0;
+  std::uint64_t droppedBytes = 0;
+  std::uint64_t droppedPackets = 0;
+};
+
+struct PortStats {
+  explicit PortStats(sim::Time utilizationWindow)
+      : rxRate(utilizationWindow), offeredRate(utilizationWindow) {}
+
+  std::uint64_t rxBytes = 0;
+  std::uint64_t rxPackets = 0;
+  std::uint64_t txBytes = 0;
+  std::uint64_t txPackets = 0;
+  std::uint64_t txDrops = 0;  // egress-buffer drops
+
+  // Utilization estimators: rxRate measures traffic arriving on this port
+  // (the paper's Link:RX-Utilization); offeredRate measures traffic destined
+  // to this port's egress queue, including drops (our Link:TX-Utilization
+  // extension, the y(t) an RCP link controller wants).
+  sim::WindowedRate rxRate;
+  sim::WindowedRate offeredRate;
+
+  // Time integral of total queued bytes on this port, for computing average
+  // queue sizes over an interval (used by the in-switch RCP baseline).
+  double queueByteTimeIntegral = 0.0;  // bytes * seconds
+  sim::Time integralUpdatedAt = sim::Time::zero();
+  std::uint64_t queuedBytesNow = 0;
+
+  void updateIntegral(sim::Time now) {
+    queueByteTimeIntegral += static_cast<double>(queuedBytesNow) *
+                             (now - integralUpdatedAt).toSeconds();
+    integralUpdatedAt = now;
+  }
+};
+
+struct SwitchStats {
+  std::uint64_t totalRxPackets = 0;
+  std::uint64_t totalTxPackets = 0;
+  std::uint64_t totalDrops = 0;
+  std::uint64_t forwardingMisses = 0;
+  std::uint64_t ttlExpired = 0;
+  std::uint64_t tppsExecuted = 0;
+};
+
+}  // namespace tpp::asic

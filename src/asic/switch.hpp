@@ -1,0 +1,157 @@
+// The TPP-capable switch: the full dataplane pipeline of paper Fig 3.
+//
+//   receive → edge filter → header parser → L2/L3/TCAM lookup → TCPU →
+//   egress queue → scheduler → transmit
+//
+// The TCPU sits after forwarding lookup and before the packet is copied to
+// switch memory, so a TPP reading Queue:QueueSize observes the egress queue
+// occupancy at the instant the packet traversed the switch (§2.1), and all
+// packet modifications are committed before enqueue (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/asic/parser.hpp"
+#include "src/asic/queue.hpp"
+#include "src/asic/stats.hpp"
+#include "src/asic/tables.hpp"
+#include "src/core/agent.hpp"
+#include "src/core/edge_filter.hpp"
+#include "src/net/link.hpp"
+#include "src/net/node.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/tcpu/tcpu.hpp"
+
+namespace tpp::asic {
+
+enum class SchedulerPolicy : std::uint8_t {
+  RoundRobin,      // fair service across non-empty queues
+  StrictPriority,  // queue 0 preempts 1 preempts 2 …
+};
+
+struct SwitchConfig {
+  std::uint32_t switchId = 0;
+  std::size_t ports = 4;
+  std::size_t queuesPerPort = 8;
+  std::uint64_t bufferPerQueueBytes = 512 * 1024;
+  SchedulerPolicy scheduler = SchedulerPolicy::RoundRobin;
+  // Window for the RX/offered-load utilization registers.
+  sim::Time utilizationWindow = sim::Time::ms(10);
+  // Fixed pipeline latency between arrival and enqueue (lookup + TCPU are
+  // modelled as cycle counts separately; this is the packet's transit time
+  // through the pipeline). Zero = ideal cut-through pipeline.
+  sim::Time pipelineDelay = sim::Time::zero();
+  bool tcpuEnabled = true;
+  // ECN (RFC 3168 / the paper's §4 related-work baseline): when > 0, IPv4
+  // packets enqueued while their egress queue holds at least this many
+  // bytes are marked Congestion Experienced. 0 disables marking.
+  std::uint64_t ecnThresholdBytes = 0;
+};
+
+// Observes packets at the moment they are enqueued to an egress port; the
+// in-switch RCP baseline hooks here to stamp rate fields.
+class EgressInterceptor {
+ public:
+  virtual ~EgressInterceptor() = default;
+  virtual void onEnqueue(net::Packet& packet, std::size_t egressPort) = 0;
+};
+
+class Switch : public net::Node {
+ public:
+  Switch(sim::Simulator& simulator, std::string name, SwitchConfig config);
+  ~Switch() override;
+
+  void receive(net::PacketPtr packet, std::size_t port) override;
+
+  // ------------------------------------------------------------ control
+  L2Table& l2() { return l2_; }
+  L3LpmTable& l3() { return l3_; }
+  Tcam& tcam() { return tcam_; }
+  core::EdgeFilter& edgeFilter() { return edgeFilter_; }
+  core::SramAllocator& sramAllocator() { return sram_.allocator; }
+
+  // Direct control-plane access to scratch memory (e.g. the agent
+  // initializing each link's RCP rate register to capacity, §2.2 fn 3).
+  std::optional<std::uint32_t> scratchRead(std::uint16_t address,
+                                           std::size_t port = 0) const;
+  bool scratchWrite(std::uint16_t address, std::uint32_t value,
+                    std::size_t port = 0);
+
+  void setEgressInterceptor(EgressInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
+  // Wireless extension (§2.3 "Other possibilities"): the radio PHY posts
+  // per-port channel SNR (centi-dB) that TPPs read via Link:SNR.
+  void setPortSnr(std::size_t port, std::uint32_t centiDb) {
+    snrCentiDb_.at(port) = centiDb;
+  }
+  std::uint32_t portSnr(std::size_t port) const {
+    return snrCentiDb_.at(port);
+  }
+
+  // ---------------------------------------------------------- telemetry
+  const SwitchConfig& config() const { return config_; }
+  const SwitchStats& stats() const { return stats_; }
+  const PortStats& portStats(std::size_t port) const { return ports_[port]; }
+  const QueueStats& queueStats(std::size_t port, std::size_t queue) const {
+    return banks_[port].queue(queue).stats();
+  }
+  std::uint64_t portQueueBytes(std::size_t port) const {
+    return banks_[port].totalBytes();
+  }
+  const tcpu::Tcpu& tcpu() const { return tcpu_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Offered load (bytes destined to `port`'s egress, including drops) over
+  // the utilization window, in bits/sec.
+  double offeredLoadBps(std::size_t port);
+  // Byte-time integral of `port`'s queues (bytes * seconds), brought
+  // current to now; average queue over an interval is a caller-side delta.
+  double queueByteTimeIntegral(std::size_t port) {
+    ports_[port].updateIntegral(sim_.now());
+    return ports_[port].queueByteTimeIntegral;
+  }
+  // Egress link capacity of `port` in bits/sec (0 if unwired).
+  std::uint64_t portCapacityBps(std::size_t port) const;
+  // Cumulative bytes offered to `port`'s egress (enqueued + dropped),
+  // summed over its queues — the arrival counter RCP differentiates.
+  std::uint64_t portOfferedBytes(std::size_t port) const;
+
+ private:
+  class UnifiedAddressSpace;  // the TCPU's window onto this switch
+
+  struct Sram {
+    std::vector<std::uint32_t> global;
+    std::vector<std::vector<std::uint32_t>> perPort;
+    core::SramAllocator allocator;
+  };
+
+  // Pipeline stages.
+  void forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort);
+  std::optional<MatchResult> lookup(const ParsedPacket& parsed);
+  void enqueue(net::PacketPtr packet, std::size_t outPort,
+               std::size_t queueId);
+  void startTransmit(std::size_t port);
+  void drop(const net::Packet& packet, std::size_t port);
+
+  sim::Simulator& sim_;
+  SwitchConfig config_;
+  L2Table l2_;
+  L3LpmTable l3_;
+  Tcam tcam_;
+  core::EdgeFilter edgeFilter_;
+  tcpu::Tcpu tcpu_;
+  Sram sram_;
+  std::vector<PortStats> ports_;
+  std::vector<PortQueueBank> banks_;
+  std::vector<std::uint32_t> snrCentiDb_;
+  SwitchStats stats_;
+  EgressInterceptor* interceptor_ = nullptr;
+};
+
+}  // namespace tpp::asic

@@ -1,0 +1,174 @@
+#include "src/asic/tables.hpp"
+
+#include <algorithm>
+
+namespace tpp::asic {
+
+// ---------------------------------------------------------------- L2Table
+
+void L2Table::add(const net::MacAddress& mac, std::size_t port) {
+  ++version_;
+  auto it = entries_.find(mac);
+  if (it != entries_.end()) {
+    it->second.port = port;
+    ++it->second.version;
+    return;
+  }
+  entries_.emplace(mac, Entry{port, nextId_++, 1});
+}
+
+bool L2Table::remove(const net::MacAddress& mac) {
+  if (entries_.erase(mac) == 0) return false;
+  ++version_;
+  return true;
+}
+
+std::optional<MatchResult> L2Table::match(const net::MacAddress& dst) const {
+  const auto it = entries_.find(dst);
+  if (it == entries_.end()) return std::nullopt;
+  MatchResult r;
+  r.outPort = it->second.port;
+  r.entryId = packEntryId(it->second.id, it->second.version);
+  r.altRoutes = 0;  // exact match: one way out
+  return r;
+}
+
+// ------------------------------------------------------------- L3LpmTable
+
+void L3LpmTable::add(net::Ipv4Address prefix, std::uint8_t prefixLen,
+                     std::size_t port) {
+  addMultipath(prefix, prefixLen, {port});
+}
+
+void L3LpmTable::addMultipath(net::Ipv4Address prefix,
+                              std::uint8_t prefixLen,
+                              std::vector<std::size_t> ports) {
+  if (ports.empty()) return;
+  ++version_;
+  const std::uint32_t masked = prefix.value() & maskOf(prefixLen);
+  for (auto& e : entries_) {
+    if (e.prefix == masked && e.len == prefixLen) {
+      e.ports = std::move(ports);
+      ++e.version;
+      return;
+    }
+  }
+  entries_.push_back(Entry{masked, prefixLen, std::move(ports), nextId_++, 1});
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.len > b.len;
+                   });
+}
+
+bool L3LpmTable::remove(net::Ipv4Address prefix, std::uint8_t prefixLen) {
+  const std::uint32_t masked = prefix.value() & maskOf(prefixLen);
+  const auto n = std::erase_if(entries_, [&](const Entry& e) {
+    return e.prefix == masked && e.len == prefixLen;
+  });
+  if (n == 0) return false;
+  ++version_;
+  return true;
+}
+
+std::optional<MatchResult> L3LpmTable::match(net::Ipv4Address dst,
+                                             std::uint64_t flowHash) const {
+  const Entry* best = nullptr;
+  std::uint32_t alternates = 0;
+  for (const auto& e : entries_) {  // sorted by descending length
+    if ((dst.value() & maskOf(e.len)) == e.prefix) {
+      if (best == nullptr) {
+        best = &e;
+      } else {
+        ++alternates;  // shorter prefixes that also cover dst
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  MatchResult r;
+  r.outPort = best->ports[flowHash % best->ports.size()];
+  r.entryId = packEntryId(best->id, best->version);
+  r.altRoutes =
+      alternates + static_cast<std::uint32_t>(best->ports.size() - 1);
+  return r;
+}
+
+// ------------------------------------------------------------------- Tcam
+
+std::uint16_t Tcam::add(TcamKey key, TcamAction action,
+                        std::int32_t priority) {
+  ++version_;
+  const std::uint16_t id = nextId_++;
+  entries_.push_back(Entry{std::move(key), action, priority, id, 1});
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.priority > b.priority;
+                   });
+  return id;
+}
+
+bool Tcam::remove(std::uint16_t id) {
+  const auto n =
+      std::erase_if(entries_, [&](const Entry& e) { return e.id == id; });
+  if (n == 0) return false;
+  ++version_;
+  return true;
+}
+
+bool Tcam::update(std::uint16_t id, TcamAction action) {
+  for (auto& e : entries_) {
+    if (e.id == id) {
+      e.action = action;
+      ++e.version;
+      ++version_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> Tcam::packedId(std::uint16_t id) const {
+  for (const auto& e : entries_) {
+    if (e.id == id) return packEntryId(e.id, e.version);
+  }
+  return std::nullopt;
+}
+
+bool Tcam::matches(const TcamKey& key, const PacketFields& f) {
+  if (key.dstMac && *key.dstMac != f.dstMac) return false;
+  if (key.etherType && *key.etherType != f.etherType) return false;
+  auto prefixMatch = [](const std::pair<net::Ipv4Address, std::uint8_t>& p,
+                        const std::optional<net::Ipv4Address>& a) {
+    if (!a) return false;
+    const std::uint32_t mask =
+        p.second == 0 ? 0 : ~std::uint32_t{0} << (32 - p.second);
+    return (a->value() & mask) == (p.first.value() & mask);
+  };
+  if (key.ipSrc && !prefixMatch(*key.ipSrc, f.ipSrc)) return false;
+  if (key.ipDst && !prefixMatch(*key.ipDst, f.ipDst)) return false;
+  if (key.ipProto && (!f.ipProto || *key.ipProto != *f.ipProto)) return false;
+  return true;
+}
+
+std::optional<MatchResult> Tcam::match(const PacketFields& fields) const {
+  const Entry* best = nullptr;
+  std::uint32_t alternates = 0;
+  for (const auto& e : entries_) {  // sorted by descending priority
+    if (matches(e.key, fields)) {
+      if (best == nullptr) {
+        best = &e;
+      } else {
+        ++alternates;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  MatchResult r;
+  r.outPort = best->action.outPort;
+  r.entryId = packEntryId(best->id, best->version);
+  r.altRoutes = alternates;
+  r.queueId = best->action.queueId;
+  r.drop = best->action.drop;
+  return r;
+}
+
+}  // namespace tpp::asic

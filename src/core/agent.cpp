@@ -1,0 +1,65 @@
+#include "src/core/agent.hpp"
+
+#include <algorithm>
+
+namespace tpp::core {
+
+std::optional<SramGrant> SramAllocator::allocate(std::uint16_t taskId,
+                                                 std::uint16_t words,
+                                                 StatNamespace region) {
+  if (words == 0) return std::nullopt;
+  if (region != StatNamespace::Sram && region != StatNamespace::PortScratch) {
+    return std::nullopt;
+  }
+  const std::size_t regionWords =
+      region == StatNamespace::Sram ? kSramWords : kPortScratchWords;
+
+  // First-fit over the sorted in-region grants.
+  std::vector<const SramGrant*> inRegion;
+  for (const auto& g : grants_) {
+    if (g.region == region) inRegion.push_back(&g);
+  }
+  std::sort(inRegion.begin(), inRegion.end(),
+            [](const SramGrant* a, const SramGrant* b) {
+              return a->baseWord < b->baseWord;
+            });
+  std::uint32_t cursor = 0;
+  for (const auto* g : inRegion) {
+    if (g->baseWord >= cursor + words) break;  // gap fits
+    cursor = std::max<std::uint32_t>(cursor, g->baseWord + g->words);
+  }
+  if (cursor + words > regionWords) return std::nullopt;
+
+  SramGrant grant{taskId, region, static_cast<std::uint16_t>(cursor), words};
+  grants_.push_back(grant);
+  return grant;
+}
+
+void SramAllocator::release(std::uint16_t taskId) {
+  std::erase_if(grants_, [&](const SramGrant& g) {
+    return g.taskId == taskId;
+  });
+}
+
+bool SramAllocator::allows(std::uint16_t taskId,
+                           std::uint16_t address) const {
+  const auto ns = MemoryMap::namespaceOf(address);
+  if (ns != StatNamespace::Sram && ns != StatNamespace::PortScratch) {
+    return true;
+  }
+  if (!enforcing()) return true;
+  for (const auto& g : grants_) {
+    if (g.taskId == taskId && g.covers(address)) return true;
+  }
+  return false;
+}
+
+void SramAllocator::publishName(MemoryMap& map, const SramGrant& grant,
+                                std::uint16_t word, std::string name,
+                                std::string description) {
+  map.add(StatInfo{std::move(name),
+                   static_cast<std::uint16_t>(grant.baseAddress() + word),
+                   Access::ReadWrite, std::move(description)});
+}
+
+}  // namespace tpp::core

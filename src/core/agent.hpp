@@ -1,0 +1,66 @@
+// Control-plane agent (paper §3.2 "Multiple tasks"): partitions scratch
+// switch memory among concurrently executing network tasks so that, e.g.,
+// RCP* and ndb never collide on SRAM words.
+//
+// Grants are expressed in words within a region (global SRAM or the per-port
+// scratch bank). While no grants are installed the allocator is in "open"
+// mode — any task may touch any scratch word — which matches the trusted
+// single-operator deployments the paper targets; installing the first grant
+// switches on enforcement, and the TCPU then faults TPPs that stray outside
+// their task's windows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::core {
+
+struct SramGrant {
+  std::uint16_t taskId = 0;
+  StatNamespace region = StatNamespace::Sram;  // Sram or PortScratch
+  std::uint16_t baseWord = 0;
+  std::uint16_t words = 0;
+
+  std::uint16_t baseAddress() const {
+    return static_cast<std::uint16_t>(
+        (region == StatNamespace::Sram ? kSramBase : kPortScratchBase) +
+        baseWord);
+  }
+  bool covers(std::uint16_t address) const {
+    const auto b = baseAddress();
+    return address >= b && address < b + words;
+  }
+};
+
+class SramAllocator {
+ public:
+  // First-fit allocation of `words` scratch words for `taskId`.
+  std::optional<SramGrant> allocate(std::uint16_t taskId, std::uint16_t words,
+                                    StatNamespace region = StatNamespace::Sram);
+  // Frees every grant held by `taskId`.
+  void release(std::uint16_t taskId);
+
+  // True once any grant exists; the TCPU then enforces isolation.
+  bool enforcing() const { return !grants_.empty(); }
+
+  // May `taskId` access scratch `address`? Non-scratch addresses are not
+  // this allocator's concern and always return true.
+  bool allows(std::uint16_t taskId, std::uint16_t address) const;
+
+  const std::vector<SramGrant>& grants() const { return grants_; }
+
+  // Publishes a human-readable name for a granted word (index `word` within
+  // the grant) into `map`, so assembly can refer to it symbolically.
+  static void publishName(MemoryMap& map, const SramGrant& grant,
+                          std::uint16_t word, std::string name,
+                          std::string description = {});
+
+ private:
+  std::vector<SramGrant> grants_;
+};
+
+}  // namespace tpp::core

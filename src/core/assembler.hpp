@@ -1,0 +1,55 @@
+// Assembler for the x86-like TPP assembly the paper writes its examples in,
+// e.g.:
+//
+//     # Phase-1 collect (RCP*, §2.2)
+//     PUSH [Switch:SwitchID]
+//     PUSH [Link:QueueSize]
+//     PUSH [Link:RX-Utilization]
+//     PUSH [Link:RCP-RateRegister]
+//
+//     CEXEC [Switch:SwitchID], 0xFFFFFFFF, $BottleneckSwitchID
+//     STORE [Link:RCP-RateRegister], [Packet:0]
+//
+// Directives:
+//   .mode stack|hop      addressing mode (default stack)
+//   .perhop N            per-hop record size in words (hop mode)
+//   .reserve N           packet-memory words after the immediates
+//   .pmem N              total packet-memory words (overrides if larger)
+//   .init N VALUE        initialize packet-memory word N
+//   .sp N                initial stack pointer (byte offset)
+//   .task N              task id (SRAM-grant key)
+//   .define NAME VALUE   named constant, referenced as $NAME
+//
+// Operand forms:
+//   [Namespace:Statistic]   resolved through the MemoryMap
+//   [0xB000]                literal switch address
+//   [Packet:N]              packet-memory word index N
+//   [Packet:hop[N]]         hop-relative word offset N (hop mode)
+//   0x... / decimal / $NAME immediates (CEXEC mask,value; CSTORE cond,src;
+//                           STORE source) — compiled into packet memory
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/core/memory_map.hpp"
+#include "src/core/program.hpp"
+
+namespace tpp::core {
+
+struct AssemblyError {
+  int line = 0;
+  std::string message;
+};
+
+std::variant<Program, AssemblyError> assemble(
+    std::string_view source, const MemoryMap& map = MemoryMap::standard());
+
+// Inverse: renders a program as assembly text, naming addresses through the
+// map where possible. Immediate-consuming instructions are shown with their
+// packet-memory operands inline.
+std::string disassemble(const Program& program,
+                        const MemoryMap& map = MemoryMap::standard());
+
+}  // namespace tpp::core

@@ -1,0 +1,58 @@
+#include "src/core/edge_filter.hpp"
+
+#include "src/core/header.hpp"
+#include "src/core/program.hpp"
+#include "src/net/byte_io.hpp"
+#include "src/net/ethernet.hpp"
+
+namespace tpp::core {
+
+void EdgeFilter::setPortPolicy(std::size_t port, EdgePolicy policy) {
+  if (policies_.size() <= port) policies_.resize(port + 1, EdgePolicy::Allow);
+  policies_[port] = policy;
+}
+
+EdgePolicy EdgeFilter::portPolicy(std::size_t port) const {
+  return port < policies_.size() ? policies_[port] : EdgePolicy::Allow;
+}
+
+EdgeFilter::Action EdgeFilter::apply(net::Packet& packet,
+                                     std::size_t ingressPort) const {
+  const auto policy = portPolicy(ingressPort);
+  if (policy == EdgePolicy::Allow) return Action::Forwarded;
+
+  const auto type = net::getBe16(packet.span(), 12);
+  if (!type || *type != net::kEtherTypeTpp) return Action::Forwarded;
+
+  if (policy == EdgePolicy::Drop) {
+    ++dropped_;
+    return Action::Dropped;
+  }
+
+  auto view = TppView::at(packet, net::kEthernetHeaderSize);
+  if (!view) {  // malformed TPP on an untrusted port: never forward
+    ++dropped_;
+    return Action::Dropped;
+  }
+
+  bool writes = false;
+  for (std::size_t i = 0; i < view->instrWords(); ++i) {
+    const auto ins = Instruction::decode(view->instructionWord(i));
+    if (!ins) {
+      ++dropped_;
+      return Action::Dropped;
+    }
+    writes = writes || writesSwitchMemory(ins->op);
+  }
+
+  if (policy == EdgePolicy::ReadOnly && !writes) return Action::Forwarded;
+
+  if (!stripTppShim(packet)) {
+    ++dropped_;
+    return Action::Dropped;
+  }
+  ++stripped_;
+  return Action::Stripped;
+}
+
+}  // namespace tpp::core

@@ -1,0 +1,43 @@
+// Edge security filter (paper §4): "the ingress switches at the network edge
+// (the virtual switch, or the border routers) can strip TPPs injected by
+// VMs, or those TPPs received from the Internet."
+//
+// Per-port policies:
+//   Allow    — trusted port; TPPs pass untouched (the default)
+//   Strip    — remove the TPP shim, forward the inner packet
+//   Drop     — discard TPP packets entirely
+//   ReadOnly — allow TPPs that only read switch state; strip those that
+//              contain STORE/POP/CSTORE (write) instructions
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.hpp"
+
+namespace tpp::core {
+
+enum class EdgePolicy : std::uint8_t { Allow, Strip, Drop, ReadOnly };
+
+class EdgeFilter {
+ public:
+  enum class Action : std::uint8_t { Forwarded, Stripped, Dropped };
+
+  void setPortPolicy(std::size_t port, EdgePolicy policy);
+  EdgePolicy portPolicy(std::size_t port) const;
+
+  // Applies the ingress policy. For non-TPP packets this is always
+  // Forwarded. Malformed TPPs (bad lengths, undecodable instructions) are
+  // dropped under any policy except Allow.
+  Action apply(net::Packet& packet, std::size_t ingressPort) const;
+
+  std::uint64_t stripped() const { return stripped_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<EdgePolicy> policies_;
+  mutable std::uint64_t stripped_ = 0;
+  mutable std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tpp::core

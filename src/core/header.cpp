@@ -1,0 +1,118 @@
+#include "src/core/header.hpp"
+
+#include <cassert>
+
+#include "src/net/byte_io.hpp"
+
+namespace tpp::core {
+
+void TppHeader::write(std::span<std::uint8_t> b) const {
+  assert(b.size() >= kTppHeaderSize);
+  b[0] = instrWords;
+  b[1] = pmemWords;
+  b[2] = static_cast<std::uint8_t>((flags << 4) |
+                                   (static_cast<std::uint8_t>(mode) & 0x0f));
+  b[3] = hopNumber;
+  net::putBe16(b, 4, stackPointer);
+  b[6] = perHopWords;
+  b[7] = static_cast<std::uint8_t>(faultCode);
+  net::putBe16(b, 8, innerEtherType);
+  net::putBe16(b, 10, taskId);
+}
+
+std::optional<TppHeader> TppHeader::parse(std::span<const std::uint8_t> b) {
+  if (b.size() < kTppHeaderSize) return std::nullopt;
+  TppHeader h;
+  h.instrWords = b[0];
+  h.pmemWords = b[1];
+  h.mode = static_cast<AddressingMode>(b[2] & 0x0f);
+  h.flags = b[2] >> 4;
+  h.hopNumber = b[3];
+  h.stackPointer = *net::getBe16(b, 4);
+  h.perHopWords = b[6];
+  h.faultCode = static_cast<Fault>(b[7]);
+  h.innerEtherType = *net::getBe16(b, 8);
+  h.taskId = *net::getBe16(b, 10);
+  return h;
+}
+
+std::string_view faultName(Fault f) {
+  switch (f) {
+    case Fault::None: return "none";
+    case Fault::PmemOutOfBounds: return "pmem-out-of-bounds";
+    case Fault::UnmappedAddress: return "unmapped-address";
+    case Fault::ReadOnlyViolation: return "read-only-violation";
+    case Fault::GrantViolation: return "grant-violation";
+    case Fault::BadInstruction: return "bad-instruction";
+    case Fault::HopOverflow: return "hop-overflow";
+  }
+  return "?";
+}
+
+std::optional<TppView> TppView::at(net::Packet& packet,
+                                   std::size_t tppOffset) {
+  const auto& bytes = packet.bytes();
+  if (tppOffset + kTppHeaderSize > bytes.size()) return std::nullopt;
+  const std::size_t instrBytes = bytes[tppOffset] * kInstructionSize;
+  const std::size_t pmemBytes = bytes[tppOffset + 1] * kWordSize;
+  if (tppOffset + kTppHeaderSize + instrBytes + pmemBytes > bytes.size()) {
+    return std::nullopt;
+  }
+  return TppView{packet, tppOffset};
+}
+
+std::span<std::uint8_t> TppView::hdr() const {
+  return std::span<std::uint8_t>(pkt_->bytes()).subspan(off_, kTppHeaderSize);
+}
+
+std::uint8_t TppView::at8(std::size_t i) const { return hdr()[i]; }
+void TppView::set8(std::size_t i, std::uint8_t v) { hdr()[i] = v; }
+
+void TppView::setFlag(std::uint8_t bit) {
+  set8(2, static_cast<std::uint8_t>(at8(2) | (bit << 4)));
+}
+
+std::uint16_t TppView::stackPointer() const { return *net::getBe16(hdr(), 4); }
+void TppView::setStackPointer(std::uint16_t sp) { net::putBe16(hdr(), 4, sp); }
+
+void TppView::setFault(Fault f) {
+  // Only the first fault is recorded; later ones would mask the root cause.
+  if (faultCode() == Fault::None) {
+    set8(7, static_cast<std::uint8_t>(f));
+    setFlag(kFlagFaulted);
+  }
+}
+
+std::uint16_t TppView::innerEtherType() const {
+  return *net::getBe16(hdr(), 8);
+}
+std::uint16_t TppView::taskId() const { return *net::getBe16(hdr(), 10); }
+
+std::uint32_t TppView::instructionWord(std::size_t i) const {
+  assert(i < instrWords());
+  return *net::getBe32(pkt_->span(),
+                       off_ + kTppHeaderSize + i * kInstructionSize);
+}
+
+std::optional<std::uint32_t> TppView::pmemWord(std::size_t i) const {
+  if (i >= pmemWords()) return std::nullopt;
+  return *net::getBe32(pkt_->span(), off_ + kTppHeaderSize +
+                                         instrWords() * kInstructionSize +
+                                         i * kWordSize);
+}
+
+bool TppView::setPmemWord(std::size_t i, std::uint32_t v) {
+  if (i >= pmemWords()) return false;
+  net::putBe32(pkt_->span(), off_ + kTppHeaderSize +
+                                 instrWords() * kInstructionSize +
+                                 i * kWordSize,
+               v);
+  return true;
+}
+
+std::size_t TppView::payloadOffset() const {
+  return off_ + kTppHeaderSize + instrWords() * kInstructionSize +
+         pmemWords() * kWordSize;
+}
+
+}  // namespace tpp::core

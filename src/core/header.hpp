@@ -1,0 +1,130 @@
+// TPP shim wire format (paper Fig 4).
+//
+// A TPP rides as a shim immediately after the Ethernet header, identified by
+// ethertype 0x88B5; the encapsulated payload's original ethertype is
+// preserved in the shim so edge switches can strip the TPP and restore the
+// inner packet (§4 security discussion).
+//
+//   Ethernet header        14 B   etherType = 0x88B5
+//   TPP header             12 B   (below)
+//   instructions           instrWords * 4 B
+//   packet memory          pmemWords * 4 B   (initialized by end-hosts)
+//   inner payload          rest (e.g. an IPv4 packet; etherType in shim)
+//
+// TPP header layout (big-endian):
+//   byte  0      instrWords        — "length of TPP"            (Fig 4 #1)
+//   byte  1      pmemWords         — "length of packet memory"  (Fig 4 #2)
+//   byte  2      mode | flags<<4   — addressing mode            (Fig 4 #3)
+//   byte  3      hopNumber         — hop counter                (Fig 4 #4)
+//   bytes 4-5    stackPointer      — byte offset into pmem      (Fig 4 #4)
+//   byte  6      perHopWords       — per-hop record size        (Fig 4 #5)
+//   byte  7      faultCode         — first fault encountered, 0 = none
+//   bytes 8-9    innerEtherType
+//   bytes 10-11  taskId            — SRAM-grant / isolation key (§3.2)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "src/core/isa.hpp"
+#include "src/net/packet.hpp"
+
+namespace tpp::core {
+
+inline constexpr std::size_t kTppHeaderSize = 12;
+
+enum class AddressingMode : std::uint8_t {
+  Stack = 0,  // PUSH/POP via the stack pointer
+  Hop = 1,    // base:offset — word index = hopNumber * perHopWords + off
+};
+
+enum class Fault : std::uint8_t {
+  None = 0,
+  PmemOutOfBounds = 1,   // access beyond the preallocated packet memory
+  UnmappedAddress = 2,   // virtual address not in the memory map
+  ReadOnlyViolation = 3, // write to a read-only statistic
+  GrantViolation = 4,    // SRAM access outside the task's allocation
+  BadInstruction = 5,    // undecodable instruction word
+  HopOverflow = 6,       // hop-mode record would exceed packet memory
+};
+
+// Flag bits (header byte 2, high nibble).
+inline constexpr std::uint8_t kFlagFaulted = 0x1;
+// Set when a CEXEC predicate failed on some hop (execution was skipped
+// there); useful to distinguish "never matched" from "executed".
+inline constexpr std::uint8_t kFlagCexecSkipped = 0x2;
+
+struct TppHeader {
+  std::uint8_t instrWords = 0;
+  std::uint8_t pmemWords = 0;
+  AddressingMode mode = AddressingMode::Stack;
+  std::uint8_t flags = 0;
+  std::uint8_t hopNumber = 0;
+  std::uint16_t stackPointer = 0;  // bytes from start of packet memory
+  std::uint8_t perHopWords = 0;
+  Fault faultCode = Fault::None;
+  std::uint16_t innerEtherType = 0;
+  std::uint16_t taskId = 0;
+
+  void write(std::span<std::uint8_t> b) const;
+  static std::optional<TppHeader> parse(std::span<const std::uint8_t> b);
+};
+
+std::string_view faultName(Fault f);
+
+// Mutable view of a TPP inside a packet buffer. Field accessors read and
+// write the wire bytes directly, so all mutation is committed in place —
+// there is no separate serialize step to forget.
+class TppView {
+ public:
+  // `tppOffset` is the byte offset of the TPP header (normally 14, right
+  // after Ethernet). Returns nullopt if the buffer is too short or the
+  // declared lengths overrun it.
+  static std::optional<TppView> at(net::Packet& packet, std::size_t tppOffset);
+
+  TppHeader header() const { return *TppHeader::parse(hdr()); }
+
+  std::uint8_t instrWords() const { return at8(0); }
+  std::uint8_t pmemWords() const { return at8(1); }
+  AddressingMode mode() const {
+    return static_cast<AddressingMode>(at8(2) & 0x0f);
+  }
+  std::uint8_t flags() const { return at8(2) >> 4; }
+  void setFlag(std::uint8_t bit);
+  std::uint8_t hopNumber() const { return at8(3); }
+  void setHopNumber(std::uint8_t h) { set8(3, h); }
+  std::uint16_t stackPointer() const;
+  void setStackPointer(std::uint16_t sp);
+  std::uint8_t perHopWords() const { return at8(6); }
+  Fault faultCode() const { return static_cast<Fault>(at8(7)); }
+  void setFault(Fault f);
+  std::uint16_t innerEtherType() const;
+  std::uint16_t taskId() const;
+
+  // i-th 4-byte instruction word (encoded).
+  std::uint32_t instructionWord(std::size_t i) const;
+
+  // Packet-memory access by word index; false/nullopt on out-of-bounds.
+  std::optional<std::uint32_t> pmemWord(std::size_t i) const;
+  bool setPmemWord(std::size_t i, std::uint32_t v);
+
+  std::size_t tppOffset() const { return off_; }
+  // Offset of the first byte after the TPP (the inner payload).
+  std::size_t payloadOffset() const;
+  std::size_t tppSizeBytes() const { return payloadOffset() - off_; }
+
+  net::Packet& packet() const { return *pkt_; }
+
+ private:
+  TppView(net::Packet& p, std::size_t off) : pkt_(&p), off_(off) {}
+  std::span<std::uint8_t> hdr() const;
+  std::uint8_t at8(std::size_t i) const;
+  void set8(std::size_t i, std::uint8_t v);
+
+  net::Packet* pkt_;
+  std::size_t off_;
+};
+
+}  // namespace tpp::core

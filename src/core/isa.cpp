@@ -1,0 +1,66 @@
+#include "src/core/isa.hpp"
+
+#include <array>
+
+namespace tpp::core {
+namespace {
+
+constexpr std::array<std::pair<Opcode, std::string_view>, 11> kNames{{
+    {Opcode::Nop, "NOP"},
+    {Opcode::Load, "LOAD"},
+    {Opcode::Store, "STORE"},
+    {Opcode::Push, "PUSH"},
+    {Opcode::Pop, "POP"},
+    {Opcode::Cstore, "CSTORE"},
+    {Opcode::Cexec, "CEXEC"},
+    {Opcode::Add, "ADD"},
+    {Opcode::Sub, "SUB"},
+    {Opcode::Min, "MIN"},
+    {Opcode::Max, "MAX"},
+}};
+
+bool validOpcode(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(Opcode::Max);
+}
+
+}  // namespace
+
+std::uint32_t Instruction::encode() const {
+  return (static_cast<std::uint32_t>(op) << 24) |
+         (static_cast<std::uint32_t>(addr) << 8) |
+         static_cast<std::uint32_t>(pmemOff);
+}
+
+std::optional<Instruction> Instruction::decode(std::uint32_t word) {
+  const auto raw = static_cast<std::uint8_t>(word >> 24);
+  if (!validOpcode(raw)) return std::nullopt;
+  Instruction i;
+  i.op = static_cast<Opcode>(raw);
+  i.addr = static_cast<std::uint16_t>(word >> 8);
+  i.pmemOff = static_cast<std::uint8_t>(word);
+  return i;
+}
+
+bool writesSwitchMemory(Opcode op) {
+  return op == Opcode::Store || op == Opcode::Pop || op == Opcode::Cstore;
+}
+
+bool takesTwoPmemWords(Opcode op) {
+  return op == Opcode::Cstore || op == Opcode::Cexec;
+}
+
+std::string_view opcodeName(Opcode op) {
+  for (const auto& [o, n] : kNames) {
+    if (o == op) return n;
+  }
+  return "INVALID";
+}
+
+std::optional<Opcode> opcodeFromName(std::string_view name) {
+  for (const auto& [o, n] : kNames) {
+    if (n == name) return o;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tpp::core

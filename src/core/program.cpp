@@ -1,0 +1,211 @@
+#include "src/core/program.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/net/byte_io.hpp"
+
+namespace tpp::core {
+
+ProgramBuilder& ProgramBuilder::mode(AddressingMode m) {
+  mode_ = m;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::perHop(std::uint8_t words) {
+  perHop_ = words;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::task(std::uint16_t id) {
+  task_ = id;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reserve(std::uint8_t words) {
+  reserved_ = words;
+  return *this;
+}
+
+std::uint8_t ProgramBuilder::imm(std::uint32_t value) {
+  imms_.push_back(value);
+  return static_cast<std::uint8_t>(imms_.size() - 1);
+}
+
+ProgramBuilder& ProgramBuilder::raw(Instruction i) {
+  instructions_.push_back(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::push(std::uint16_t addr) {
+  return raw({Opcode::Push, addr, 0});
+}
+ProgramBuilder& ProgramBuilder::pop(std::uint16_t addr) {
+  return raw({Opcode::Pop, addr, 0});
+}
+ProgramBuilder& ProgramBuilder::load(std::uint16_t addr,
+                                     std::uint8_t pmemOff) {
+  return raw({Opcode::Load, addr, pmemOff});
+}
+ProgramBuilder& ProgramBuilder::store(std::uint16_t addr,
+                                      std::uint8_t pmemOff) {
+  return raw({Opcode::Store, addr, pmemOff});
+}
+ProgramBuilder& ProgramBuilder::storeImm(std::uint16_t addr,
+                                         std::uint32_t value) {
+  return raw({Opcode::Store, addr, imm(value)});
+}
+ProgramBuilder& ProgramBuilder::cstore(std::uint16_t addr, std::uint32_t cond,
+                                       std::uint32_t src,
+                                       std::uint8_t* outOff) {
+  const std::uint8_t off = imm(cond);
+  imm(src);
+  if (outOff) *outOff = off;
+  return raw({Opcode::Cstore, addr, off});
+}
+ProgramBuilder& ProgramBuilder::cexec(std::uint16_t addr, std::uint32_t mask,
+                                      std::uint32_t value) {
+  const std::uint8_t off = imm(mask);
+  imm(value);
+  return raw({Opcode::Cexec, addr, off});
+}
+ProgramBuilder& ProgramBuilder::add(std::uint16_t addr,
+                                    std::uint8_t pmemOff) {
+  return raw({Opcode::Add, addr, pmemOff});
+}
+ProgramBuilder& ProgramBuilder::sub(std::uint16_t addr,
+                                    std::uint8_t pmemOff) {
+  return raw({Opcode::Sub, addr, pmemOff});
+}
+ProgramBuilder& ProgramBuilder::minOp(std::uint16_t addr,
+                                      std::uint8_t pmemOff) {
+  return raw({Opcode::Min, addr, pmemOff});
+}
+ProgramBuilder& ProgramBuilder::maxOp(std::uint16_t addr,
+                                      std::uint8_t pmemOff) {
+  return raw({Opcode::Max, addr, pmemOff});
+}
+
+std::optional<Program> ProgramBuilder::build() const {
+  const std::size_t pmemWords = imms_.size() + reserved_;
+  if (instructions_.size() > 255 || pmemWords > 255) return std::nullopt;
+  Program p;
+  p.instructions = instructions_;
+  p.initialPmem = imms_;
+  p.pmemWords = static_cast<std::uint8_t>(pmemWords);
+  p.mode = mode_;
+  p.perHopWords = perHop_;
+  p.initialSp = static_cast<std::uint16_t>(imms_.size() * kWordSize);
+  p.taskId = task_;
+  return p;
+}
+
+namespace {
+
+// Serializes TPP header + instructions + pmem into `out` at `off`.
+void writeTppBody(std::span<std::uint8_t> out, std::size_t off,
+                  const Program& program, std::uint16_t innerEtherType) {
+  TppHeader h;
+  h.instrWords = static_cast<std::uint8_t>(program.instructions.size());
+  h.pmemWords = program.pmemWords;
+  h.mode = program.mode;
+  h.hopNumber = 0;
+  h.stackPointer = program.initialSp;
+  h.perHopWords = program.perHopWords;
+  h.innerEtherType = innerEtherType;
+  h.taskId = program.taskId;
+  h.write(out.subspan(off, kTppHeaderSize));
+  std::size_t pos = off + kTppHeaderSize;
+  for (const auto& ins : program.instructions) {
+    net::putBe32(out, pos, ins.encode());
+    pos += kInstructionSize;
+  }
+  for (std::size_t i = 0; i < program.pmemWords; ++i) {
+    const std::uint32_t v =
+        i < program.initialPmem.size() ? program.initialPmem[i] : 0;
+    net::putBe32(out, pos, v);
+    pos += kWordSize;
+  }
+}
+
+}  // namespace
+
+net::PacketPtr buildTppFrame(const net::MacAddress& dst,
+                             const net::MacAddress& src,
+                             const Program& program,
+                             std::uint16_t innerEtherType,
+                             std::span<const std::uint8_t> payload) {
+  const std::size_t size =
+      net::kEthernetHeaderSize + program.wireBytes() + payload.size();
+  auto packet = net::Packet::make(std::max(size, net::kMinFrameSize));
+  net::EthernetHeader eth{dst, src, net::kEtherTypeTpp};
+  eth.write(packet->span());
+  writeTppBody(packet->span(), net::kEthernetHeaderSize, program,
+               innerEtherType);
+  std::copy(payload.begin(), payload.end(),
+            packet->bytes().begin() +
+                static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize +
+                                            program.wireBytes()));
+  return packet;
+}
+
+void insertTppShim(net::Packet& packet, const Program& program) {
+  auto eth = net::EthernetHeader::parse(packet.span());
+  assert(eth && "cannot shim a non-ethernet frame");
+  const std::uint16_t innerType = eth->etherType;
+  const std::size_t body = program.wireBytes();
+  auto& bytes = packet.bytes();
+  bytes.insert(bytes.begin() +
+                   static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize),
+               body, 0);
+  net::putBe16(packet.span(), 12, net::kEtherTypeTpp);
+  writeTppBody(packet.span(), net::kEthernetHeaderSize, program, innerType);
+}
+
+bool stripTppShim(net::Packet& packet) {
+  auto eth = net::EthernetHeader::parse(packet.span());
+  if (!eth || eth->etherType != net::kEtherTypeTpp) return false;
+  auto view = TppView::at(packet, net::kEthernetHeaderSize);
+  if (!view) return false;
+  const std::uint16_t innerType = view->innerEtherType();
+  const std::size_t body = view->tppSizeBytes();
+  auto& bytes = packet.bytes();
+  bytes.erase(bytes.begin() +
+                  static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize),
+              bytes.begin() +
+                  static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize + body));
+  net::putBe16(packet.span(), 12, innerType);
+  return true;
+}
+
+std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
+                                         std::size_t tppOffset) {
+  // TppView requires a mutable packet; we only read, so a const_cast-free
+  // path re-parses from the raw bytes.
+  const auto bytes = packet.span();
+  if (tppOffset + kTppHeaderSize > bytes.size()) return std::nullopt;
+  auto header = TppHeader::parse(bytes.subspan(tppOffset));
+  if (!header) return std::nullopt;
+  ExecutedTpp out;
+  out.header = *header;
+  std::size_t pos = tppOffset + kTppHeaderSize;
+  if (pos + header->instrWords * kInstructionSize +
+          header->pmemWords * kWordSize >
+      bytes.size()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < header->instrWords; ++i) {
+    const auto word = *net::getBe32(bytes, pos);
+    auto ins = Instruction::decode(word);
+    if (!ins) return std::nullopt;
+    out.instructions.push_back(*ins);
+    pos += kInstructionSize;
+  }
+  for (std::size_t i = 0; i < header->pmemWords; ++i) {
+    out.pmem.push_back(*net::getBe32(bytes, pos));
+    pos += kWordSize;
+  }
+  return out;
+}
+
+}  // namespace tpp::core

@@ -1,0 +1,112 @@
+// Program: the assembled form of a TPP — instructions plus the initialized
+// packet-memory image — and the builder/framing helpers end-hosts use.
+//
+// Packet-memory layout convention produced by ProgramBuilder and the
+// assembler: immediates (CEXEC masks/values, CSTORE comparands, STORE
+// sources) occupy the front of packet memory; the stack / hop-record region
+// follows. The initial stack pointer therefore starts at the end of the
+// immediate region.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/core/header.hpp"
+#include "src/core/isa.hpp"
+#include "src/net/ethernet.hpp"
+#include "src/net/packet.hpp"
+
+namespace tpp::core {
+
+struct Program {
+  std::vector<Instruction> instructions;
+  // Initialized front of packet memory (immediates / values to STORE).
+  std::vector<std::uint32_t> initialPmem;
+  // Total packet-memory words to preallocate (>= initialPmem.size()).
+  std::uint8_t pmemWords = 0;
+  AddressingMode mode = AddressingMode::Stack;
+  std::uint8_t perHopWords = 0;
+  std::uint16_t initialSp = 0;  // byte offset into packet memory
+  std::uint16_t taskId = 0;
+
+  std::size_t wireBytes() const {
+    return kTppHeaderSize + instructions.size() * kInstructionSize +
+           static_cast<std::size_t>(pmemWords) * kWordSize;
+  }
+
+  bool operator==(const Program&) const = default;
+};
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder& mode(AddressingMode m);
+  ProgramBuilder& perHop(std::uint8_t words);
+  ProgramBuilder& task(std::uint16_t id);
+  // Reserves `words` of packet memory after the immediates for the stack /
+  // hop records.
+  ProgramBuilder& reserve(std::uint8_t words);
+
+  // Appends an immediate word; returns its packet-memory word index.
+  std::uint8_t imm(std::uint32_t value);
+
+  ProgramBuilder& push(std::uint16_t addr);
+  ProgramBuilder& pop(std::uint16_t addr);
+  ProgramBuilder& load(std::uint16_t addr, std::uint8_t pmemOff);
+  ProgramBuilder& store(std::uint16_t addr, std::uint8_t pmemOff);
+  // Sugar: stages `value` as an immediate and stores it to switch[addr].
+  ProgramBuilder& storeImm(std::uint16_t addr, std::uint32_t value);
+  // cond at pmem[off]=cond, src at pmem[off+1]; `off` returned via outOff if
+  // non-null so callers can locate the returned old value.
+  ProgramBuilder& cstore(std::uint16_t addr, std::uint32_t cond,
+                         std::uint32_t src, std::uint8_t* outOff = nullptr);
+  ProgramBuilder& cexec(std::uint16_t addr, std::uint32_t mask,
+                        std::uint32_t value);
+  ProgramBuilder& add(std::uint16_t addr, std::uint8_t pmemOff);
+  ProgramBuilder& sub(std::uint16_t addr, std::uint8_t pmemOff);
+  ProgramBuilder& minOp(std::uint16_t addr, std::uint8_t pmemOff);
+  ProgramBuilder& maxOp(std::uint16_t addr, std::uint8_t pmemOff);
+  ProgramBuilder& raw(Instruction i);
+
+  // Finalizes. Returns nullopt if the program exceeds encoding limits
+  // (>255 instruction or pmem words, immediates overflowing the reserve).
+  std::optional<Program> build() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+  std::vector<std::uint32_t> imms_;
+  AddressingMode mode_ = AddressingMode::Stack;
+  std::uint8_t perHop_ = 0;
+  std::uint16_t task_ = 0;
+  std::uint16_t reserved_ = 0;
+};
+
+// Builds a self-contained TPP frame:
+//   Ethernet(etherType=0x88B5) | TPP header | instructions | pmem | payload.
+// `innerEtherType` records what `payload` is (0 if none).
+net::PacketPtr buildTppFrame(const net::MacAddress& dst,
+                             const net::MacAddress& src,
+                             const Program& program,
+                             std::uint16_t innerEtherType = 0,
+                             std::span<const std::uint8_t> payload = {});
+
+// Inserts `program` as a shim into an existing Ethernet frame (the trusted-
+// entity pattern of §2.3: stamp every packet of a host). The original
+// ethertype moves into the TPP header.
+void insertTppShim(net::Packet& packet, const Program& program);
+
+// Removes a TPP shim, restoring the original frame. Returns false if the
+// packet carries no valid TPP.
+bool stripTppShim(net::Packet& packet);
+
+// Parsed results of a fully-executed TPP, for end-host consumption.
+struct ExecutedTpp {
+  TppHeader header;
+  std::vector<Instruction> instructions;
+  std::vector<std::uint32_t> pmem;
+};
+std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
+                                         std::size_t tppOffset = 14);
+
+}  // namespace tpp::core

@@ -1,0 +1,75 @@
+#include "src/host/flow.hpp"
+
+#include <vector>
+
+#include "src/net/ethernet.hpp"
+#include "src/net/ipv4.hpp"
+
+namespace tpp::host {
+
+PacedFlow::PacedFlow(Host& src, FlowSpec spec, std::uint64_t flowId)
+    : src_(src), spec_(spec), flowId_(flowId), rateBps_(spec.rateBps) {}
+
+sim::Time PacedFlow::interval() const {
+  // Pace on wire size so the configured rate is the achieved link rate.
+  const std::size_t wireBytes = net::kEthernetHeaderSize +
+                                net::kIpv4HeaderSize + net::kUdpHeaderSize +
+                                spec_.payloadBytes +
+                                net::kEthernetWireOverhead;
+  const double seconds =
+      static_cast<double>(wireBytes) * 8.0 / std::max(rateBps_, 1.0);
+  return sim::Time::seconds(seconds);
+}
+
+void PacedFlow::start(sim::Time at) {
+  if (running_) return;
+  running_ = true;
+  pending_ = src_.simulator().scheduleAt(at, [this] { emit(); });
+}
+
+void PacedFlow::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void PacedFlow::setRateBps(double rateBps) {
+  rateBps_ = std::max(rateBps, 0.0);
+}
+
+void PacedFlow::emit() {
+  if (!running_) return;
+  if (rateBps_ <= 0.0) {  // paused: poll for a rate change, send nothing
+    scheduleNext();
+    return;
+  }
+  if (spec_.totalBytes && bytesSent_ >= *spec_.totalBytes) {
+    running_ = false;
+    finished_ = true;
+    return;
+  }
+  std::vector<std::uint8_t> payload(spec_.payloadBytes, 0);
+  // First 8 bytes: flow id, so receivers can attribute bytes per flow.
+  for (int i = 0; i < 8 && i < static_cast<int>(payload.size()); ++i) {
+    payload[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(flowId_ >> (56 - 8 * i));
+  }
+  auto packet = src_.makeUdpFrame(spec_.dstMac, spec_.dstIp, spec_.srcPort,
+                                  spec_.dstPort, payload);
+  if (hook_) hook_(*packet);
+  packet->flowId = flowId_;
+  src_.transmit(std::move(packet));
+  bytesSent_ += spec_.payloadBytes;
+  ++packetsSent_;
+  scheduleNext();
+}
+
+void PacedFlow::scheduleNext() {
+  if (rateBps_ <= 0.0) {
+    // Paused: poll again shortly in case the controller raises the rate.
+    pending_ = src_.simulator().schedule(sim::Time::ms(1), [this] { emit(); });
+    return;
+  }
+  pending_ = src_.simulator().schedule(interval(), [this] { emit(); });
+}
+
+}  // namespace tpp::host

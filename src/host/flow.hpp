@@ -1,0 +1,66 @@
+// PacedFlow: a rate-limited UDP packet stream — the sender half of every
+// workload and of the RCP/RCP* rate-controlled flows.
+//
+// Pacing model: one packet every packetBits/rate seconds (token-bucket with
+// a one-packet bucket). Rate changes take effect at the next emission.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/host/host.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tpp::host {
+
+struct FlowSpec {
+  net::MacAddress dstMac;
+  net::Ipv4Address dstIp;
+  std::uint16_t srcPort = 20000;
+  std::uint16_t dstPort = 20000;
+  std::size_t payloadBytes = 1000;
+  double rateBps = 1e6;
+  // Total bytes to send; nullopt = run until stop().
+  std::optional<std::uint64_t> totalBytes;
+};
+
+class PacedFlow {
+ public:
+  PacedFlow(Host& src, FlowSpec spec, std::uint64_t flowId = 0);
+
+  void start(sim::Time at);
+  void stop();
+
+  void setRateBps(double rateBps);
+  double rateBps() const { return rateBps_; }
+
+  std::uint64_t bytesSent() const { return bytesSent_; }
+  std::uint64_t packetsSent() const { return packetsSent_; }
+  bool finished() const { return finished_; }
+  std::uint64_t id() const { return flowId_; }
+  const FlowSpec& spec() const { return spec_; }
+  Host& source() { return src_; }
+
+  // Optional per-packet decoration (e.g. the RCP baseline writing its rate
+  // header into the payload, or RCP* shimming a TPP on).
+  using PacketHook = std::function<void(net::Packet&)>;
+  void setPacketHook(PacketHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void emit();
+  void scheduleNext();
+  sim::Time interval() const;
+
+  Host& src_;
+  FlowSpec spec_;
+  std::uint64_t flowId_;
+  double rateBps_;
+  bool running_ = false;
+  bool finished_ = false;
+  std::uint64_t bytesSent_ = 0;
+  std::uint64_t packetsSent_ = 0;
+  sim::EventHandle pending_;
+  PacketHook hook_;
+};
+
+}  // namespace tpp::host

@@ -1,0 +1,181 @@
+#include "src/host/host.hpp"
+
+#include <cassert>
+
+#include "src/asic/parser.hpp"
+#include "src/net/byte_io.hpp"
+
+namespace tpp::host {
+
+Host::Host(sim::Simulator& simulator, std::string name, net::MacAddress mac,
+           net::Ipv4Address ip)
+    : net::Node(std::move(name)), sim_(simulator), mac_(mac), ip_(ip) {}
+
+net::PacketPtr Host::makeUdpFrame(net::MacAddress dstMac,
+                                   net::Ipv4Address dstIp,
+                                   std::uint16_t srcPort,
+                                   std::uint16_t dstPort,
+                                   std::span<const std::uint8_t> payload) {
+  const std::size_t ipLen =
+      net::kIpv4HeaderSize + net::kUdpHeaderSize + payload.size();
+  const std::size_t frameLen = net::kEthernetHeaderSize + ipLen;
+  auto packet = net::Packet::make(std::max(frameLen, net::kMinFrameSize));
+  packet->createdAt = sim_.now();
+
+  net::EthernetHeader eth{dstMac, mac_, net::kEtherTypeIpv4};
+  eth.write(packet->span());
+
+  net::Ipv4Header ip;
+  ip.totalLength = static_cast<std::uint16_t>(ipLen);
+  ip.identification = nextIpId_++;
+  ip.src = ip_;
+  ip.dst = dstIp;
+  ip.write(packet->span().subspan(net::kEthernetHeaderSize));
+
+  net::UdpHeader udp;
+  udp.srcPort = srcPort;
+  udp.dstPort = dstPort;
+  udp.length = static_cast<std::uint16_t>(net::kUdpHeaderSize + payload.size());
+  udp.write(packet->span().subspan(net::kEthernetHeaderSize +
+                                   net::kIpv4HeaderSize));
+
+  std::copy(payload.begin(), payload.end(),
+            packet->bytes().begin() +
+                static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize +
+                                            net::kIpv4HeaderSize +
+                                            net::kUdpHeaderSize));
+  return packet;
+}
+
+sim::Time Host::transmit(net::PacketPtr packet) {
+  net::Channel* ch = portCount() > 0 ? txChannel(0) : nullptr;
+  assert(ch != nullptr && "host NIC is not wired to a link");
+  ++sent_;
+  return ch->transmit(std::move(packet));
+}
+
+sim::Time Host::sendUdp(net::MacAddress dstMac, net::Ipv4Address dstIp,
+                        std::uint16_t srcPort, std::uint16_t dstPort,
+                        std::span<const std::uint8_t> payload) {
+  return transmit(makeUdpFrame(dstMac, dstIp, srcPort, dstPort, payload));
+}
+
+sim::Time Host::sendProbe(net::MacAddress dstMac, net::Ipv4Address dstIp,
+                          const core::Program& program) {
+  // The probe encapsulates a minimal UDP datagram to the echo port so the
+  // destination host knows to send the executed program back.
+  auto inner = makeUdpFrame(dstMac, dstIp, kTppEchoPort, kTppEchoPort, {});
+  // Strip the Ethernet header; the TPP frame re-adds its own.
+  std::vector<std::uint8_t> ipPayload(
+      inner->bytes().begin() +
+          static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize),
+      inner->bytes().end());
+  auto packet = core::buildTppFrame(dstMac, mac_, program,
+                                    net::kEtherTypeIpv4, ipPayload);
+  packet->createdAt = sim_.now();
+  return transmit(std::move(packet));
+}
+
+sim::Time Host::sendUdpWithTpp(net::MacAddress dstMac, net::Ipv4Address dstIp,
+                               std::uint16_t srcPort, std::uint16_t dstPort,
+                               std::span<const std::uint8_t> payload,
+                               const core::Program& program) {
+  auto packet = makeUdpFrame(dstMac, dstIp, srcPort, dstPort, payload);
+  core::insertTppShim(*packet, program);
+  return transmit(std::move(packet));
+}
+
+void Host::bindUdp(std::uint16_t port, UdpHandler handler) {
+  udpHandlers_[port] = std::move(handler);
+}
+
+void Host::receive(net::PacketPtr packet, std::size_t port) {
+  (void)port;
+  ++received_;
+  bytesReceived_ += packet->size();
+
+  auto parsed = asic::parsePacket(*packet);
+  if (!parsed) return;
+  if (parsed->eth.dst != mac_ && !parsed->eth.dst.isBroadcast()) return;
+
+  if (parsed->tppOffset) {
+    // A live TPP reached us. Surface it, then either echo it (probe) or
+    // strip it and deliver the inner datagram (shimmed data packet).
+    if (const auto executed = core::parseExecuted(*packet, *parsed->tppOffset);
+        executed && !tppArrival_.empty()) {
+      for (const auto& handler : tppArrival_) handler(*executed);
+    }
+    if (parsed->ip && parsed->udp && parsed->udp->dstPort == kTppEchoPort) {
+      echoExecutedTpp(*packet, *parsed->tppOffset, *parsed->ip, *parsed->udp);
+      return;
+    }
+    if (!core::stripTppShim(*packet)) return;
+  }
+  deliverUdp(*packet);
+}
+
+void Host::echoExecutedTpp(const net::Packet& packet, std::size_t tppOffset,
+                           const net::Ipv4Header& ip,
+                           const net::UdpHeader& udp) {
+  auto view = core::TppView::at(const_cast<net::Packet&>(packet), tppOffset);
+  if (!view) return;
+  const std::size_t body = view->tppSizeBytes();
+  std::span<const std::uint8_t> tppBytes =
+      packet.span().subspan(tppOffset, body);
+
+  const auto eth = net::EthernetHeader::parse(packet.span());
+  if (!eth) return;
+  ++echoed_;
+  sendUdp(eth->src, ip.src, udp.dstPort, udp.srcPort,
+          std::vector<std::uint8_t>(tppBytes.begin(), tppBytes.end()));
+}
+
+void Host::deliverUdp(net::Packet& packet) {
+  auto parsed = asic::parsePacket(packet);
+  if (!parsed || !parsed->ip || !parsed->udp) return;
+  if (parsed->ip->dst != ip_) return;
+
+  // Echo-port traffic carries executed TPP bytes as its payload.
+  if (parsed->udp->dstPort == kTppEchoPort ||
+      parsed->udp->srcPort == kTppEchoPort) {
+    if (!tppResult_.empty()) {
+      // Reconstruct an ExecutedTpp from the payload bytes.
+      const std::size_t payloadLen =
+          parsed->udp->length >= net::kUdpHeaderSize
+              ? parsed->udp->length - net::kUdpHeaderSize
+              : 0;
+      if (parsed->l4PayloadOffset + payloadLen <= packet.size() &&
+          payloadLen > 0) {
+        net::Packet shim(std::vector<std::uint8_t>(
+            packet.bytes().begin() +
+                static_cast<std::ptrdiff_t>(parsed->l4PayloadOffset),
+            packet.bytes().begin() +
+                static_cast<std::ptrdiff_t>(parsed->l4PayloadOffset +
+                                            payloadLen)));
+        if (const auto executed = core::parseExecuted(shim, 0)) {
+          for (const auto& handler : tppResult_) handler(*executed);
+        }
+      }
+    }
+    return;
+  }
+
+  const auto it = udpHandlers_.find(parsed->udp->dstPort);
+  if (it == udpHandlers_.end()) return;
+  const std::size_t payloadLen =
+      parsed->udp->length >= net::kUdpHeaderSize
+          ? parsed->udp->length - net::kUdpHeaderSize
+          : 0;
+  if (parsed->l4PayloadOffset + payloadLen > packet.size()) return;
+  UdpDatagram dgram;
+  dgram.srcIp = parsed->ip->src;
+  dgram.dstIp = parsed->ip->dst;
+  dgram.srcPort = parsed->udp->srcPort;
+  dgram.dstPort = parsed->udp->dstPort;
+  dgram.ecn = parsed->ip->ecn;
+  dgram.payload = packet.span().subspan(parsed->l4PayloadOffset, payloadLen);
+  dgram.packet = &packet;
+  it->second(dgram);
+}
+
+}  // namespace tpp::host

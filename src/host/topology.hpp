@@ -1,0 +1,117 @@
+// Testbed: owns a simulator, switches, hosts and links, wires them up, and
+// installs shortest-path routes — the scaffolding every experiment, test
+// and bench builds on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/asic/switch.hpp"
+#include "src/host/host.hpp"
+#include "src/net/link.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tpp::host {
+
+class Testbed {
+ public:
+  Testbed() = default;
+
+  sim::Simulator& sim() { return sim_; }
+
+  // Creates a host with deterministic MAC 02:00:…:<n> and IP 10.0.0.<n>.
+  Host& addHost(std::string name = {});
+  asic::Switch& addSwitch(asic::SwitchConfig config = {},
+                          std::string name = {});
+
+  // Wires a full-duplex link and records the adjacency for routing.
+  net::DuplexLink& link(net::Node& a, std::size_t portA, net::Node& b,
+                        std::size_t portB, std::uint64_t rateBps,
+                        sim::Time delay);
+
+  // Installs, on every switch, an L3 /32 route and an L2 entry for every
+  // host, along BFS shortest paths. Call after all links are wired.
+  void installAllRoutes();
+
+  Host& host(std::size_t i) { return *hosts_.at(i); }
+  asic::Switch& sw(std::size_t i) { return *switches_.at(i); }
+  std::size_t hostCount() const { return hosts_.size(); }
+  std::size_t switchCount() const { return switches_.size(); }
+
+  // The switch a host hangs off, and that switch's port towards the host.
+  struct Attachment {
+    asic::Switch* sw = nullptr;
+    std::size_t port = 0;
+  };
+  Attachment attachmentOf(const Host& h) const;
+
+ private:
+  struct Edge {
+    net::Node* a;
+    std::size_t portA;
+    net::Node* b;
+    std::size_t portB;
+  };
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<asic::Switch>> switches_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<net::DuplexLink>> links_;
+  std::vector<Edge> edges_;
+};
+
+// ---------------------------------------------------------------- shapes
+
+struct LinkParams {
+  std::uint64_t rateBps = 1'000'000'000;
+  sim::Time delay = sim::Time::us(5);
+};
+
+// host0 — sw0 — sw1 — … — sw(n-1) — host1, homogeneous links. The Fig 1
+// topology with n = 3.
+void buildChain(Testbed& tb, std::size_t switches, LinkParams linkParams,
+                asic::SwitchConfig switchConfig = {});
+
+// `pairs` sender hosts on sw0, `pairs` receiver hosts on sw1, with a single
+// bottleneck link between the switches. Sender i talks to receiver i
+// (= host(pairs + i)). The Fig 2 topology.
+void buildDumbbell(Testbed& tb, std::size_t pairs, LinkParams edge,
+                   LinkParams bottleneck,
+                   asic::SwitchConfig switchConfig = {});
+
+// `senders` hosts plus one receiver (the last host) on a single switch —
+// the incast/micro-burst shape (§2.1).
+void buildStar(Testbed& tb, std::size_t senders, LinkParams linkParams,
+               asic::SwitchConfig switchConfig = {});
+
+// k-ary fat tree (the canonical datacenter fabric): (k/2)^2 core switches,
+// k pods of k/2 aggregation + k/2 edge switches, k/2 hosts per edge —
+// k^3/4 hosts total. Upward routing is ECMP (multipath default routes);
+// downward routing is per-host /32s. Returns an index for addressing the
+// pieces. Requires even k >= 2.
+struct FatTreeIndex {
+  std::size_t k = 0;
+
+  std::size_t radix() const { return k / 2; }
+  std::size_t coreCount() const { return radix() * radix(); }
+  std::size_t hostCount() const { return k * radix() * radix(); }
+
+  // Testbed switch index of core c / aggregation (pod,a) / edge (pod,e).
+  std::size_t coreSw(std::size_t c) const { return c; }
+  std::size_t aggSw(std::size_t pod, std::size_t a) const {
+    return coreCount() + pod * k + a;
+  }
+  std::size_t edgeSw(std::size_t pod, std::size_t e) const {
+    return coreCount() + pod * k + radix() + e;
+  }
+  // Testbed host index of host h under edge e of pod.
+  std::size_t host(std::size_t pod, std::size_t e, std::size_t h) const {
+    return pod * radix() * radix() + e * radix() + h;
+  }
+};
+
+FatTreeIndex buildFatTree(Testbed& tb, std::size_t k, LinkParams linkParams,
+                          asic::SwitchConfig switchConfig = {});
+
+}  // namespace tpp::host

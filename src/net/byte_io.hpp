@@ -1,0 +1,56 @@
+// Bounds-checked big-endian (network order) integer serialization.
+//
+// All wire formats in this library go through these helpers; readers return
+// std::nullopt on truncation instead of reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace tpp::net {
+
+inline void putBe16(std::span<std::uint8_t> b, std::size_t off,
+                    std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+inline void putBe32(std::span<std::uint8_t> b, std::size_t off,
+                    std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+inline void putBe64(std::span<std::uint8_t> b, std::size_t off,
+                    std::uint64_t v) {
+  putBe32(b, off, static_cast<std::uint32_t>(v >> 32));
+  putBe32(b, off + 4, static_cast<std::uint32_t>(v));
+}
+
+inline std::optional<std::uint16_t> getBe16(std::span<const std::uint8_t> b,
+                                            std::size_t off) {
+  if (off + 2 > b.size()) return std::nullopt;
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+inline std::optional<std::uint32_t> getBe32(std::span<const std::uint8_t> b,
+                                            std::size_t off) {
+  if (off + 4 > b.size()) return std::nullopt;
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+inline std::optional<std::uint64_t> getBe64(std::span<const std::uint8_t> b,
+                                            std::size_t off) {
+  const auto hi = getBe32(b, off);
+  const auto lo = getBe32(b, off + 4);
+  if (!hi || !lo) return std::nullopt;
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+}  // namespace tpp::net

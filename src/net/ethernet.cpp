@@ -1,0 +1,30 @@
+#include "src/net/ethernet.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/net/byte_io.hpp"
+
+namespace tpp::net {
+
+void EthernetHeader::write(std::span<std::uint8_t> b) const {
+  assert(b.size() >= kEthernetHeaderSize);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), b.begin());
+  std::copy(src.bytes().begin(), src.bytes().end(), b.begin() + 6);
+  putBe16(b, 12, etherType);
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(
+    std::span<const std::uint8_t> b) {
+  if (b.size() < kEthernetHeaderSize) return std::nullopt;
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(b.begin(), 6, mac.begin());
+  h.dst = MacAddress{mac};
+  std::copy_n(b.begin() + 6, 6, mac.begin());
+  h.src = MacAddress{mac};
+  h.etherType = *getBe16(b, 12);
+  return h;
+}
+
+}  // namespace tpp::net

@@ -1,0 +1,34 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/net/mac_address.hpp"
+
+namespace tpp::net {
+
+inline constexpr std::size_t kEthernetHeaderSize = 14;
+// Preamble(8) + FCS(4) + inter-frame gap(12): charged per frame by Link when
+// computing serialization time, but not carried in the packet buffer.
+inline constexpr std::size_t kEthernetWireOverhead = 24;
+inline constexpr std::size_t kMinFrameSize = 64;   // without wire overhead
+inline constexpr std::size_t kMtu = 1500;          // payload bytes
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+// IEEE 802 local-experimental ethertype; identifies a TPP shim (§2: "any
+// ethernet packet with a uniquely identifiable header").
+inline constexpr std::uint16_t kEtherTypeTpp = 0x88B5;
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t etherType = 0;
+
+  // Serializes into b[0..14). Precondition: b.size() >= 14.
+  void write(std::span<std::uint8_t> b) const;
+  static std::optional<EthernetHeader> parse(std::span<const std::uint8_t> b);
+};
+
+}  // namespace tpp::net

@@ -1,0 +1,85 @@
+#include "src/net/ipv4.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/net/byte_io.hpp"
+
+namespace tpp::net {
+
+std::string Ipv4Address::toString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v_ >> 24) & 0xff,
+                (v_ >> 16) & 0xff, (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+std::uint16_t internetChecksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::write(std::span<std::uint8_t> b) const {
+  assert(b.size() >= kIpv4HeaderSize);
+  b[0] = 0x45;  // version 4, IHL 5
+  b[1] = static_cast<std::uint8_t>(ecn & 0x03);  // DSCP 0 | ECN
+  putBe16(b, 2, totalLength);
+  putBe16(b, 4, identification);
+  putBe16(b, 6, 0);  // flags/fragment offset
+  b[8] = ttl;
+  b[9] = protocol;
+  putBe16(b, 10, 0);  // checksum placeholder
+  putBe32(b, 12, src.value());
+  putBe32(b, 16, dst.value());
+  putBe16(b, 10, internetChecksum(b.first(kIpv4HeaderSize)));
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> b) {
+  if (b.size() < kIpv4HeaderSize) return std::nullopt;
+  if (b[0] != 0x45) return std::nullopt;  // options unsupported
+  if (internetChecksum(b.first(kIpv4HeaderSize)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.totalLength = *getBe16(b, 2);
+  h.identification = *getBe16(b, 4);
+  h.ttl = b[8];
+  h.protocol = b[9];
+  h.ecn = b[1] & 0x03;
+  h.src = Ipv4Address{*getBe32(b, 12)};
+  h.dst = Ipv4Address{*getBe32(b, 16)};
+  return h;
+}
+
+void Ipv4Header::markCe(std::span<std::uint8_t> b) {
+  assert(b.size() >= kIpv4HeaderSize);
+  if ((b[1] & 0x03) == kEcnCe) return;
+  b[1] = static_cast<std::uint8_t>((b[1] & ~0x03) | kEcnCe);
+  // Recompute rather than incrementally patch: 20 bytes is cheap here and
+  // immune to ones-complement corner cases.
+  putBe16(b, 10, 0);
+  putBe16(b, 10, internetChecksum(b.first(kIpv4HeaderSize)));
+}
+
+void UdpHeader::write(std::span<std::uint8_t> b) const {
+  assert(b.size() >= kUdpHeaderSize);
+  putBe16(b, 0, srcPort);
+  putBe16(b, 2, dstPort);
+  putBe16(b, 4, length);
+  putBe16(b, 6, 0);  // checksum optional in IPv4; we do not compute it
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> b) {
+  if (b.size() < kUdpHeaderSize) return std::nullopt;
+  UdpHeader h;
+  h.srcPort = *getBe16(b, 0);
+  h.dstPort = *getBe16(b, 2);
+  h.length = *getBe16(b, 4);
+  return h;
+}
+
+}  // namespace tpp::net

@@ -1,0 +1,82 @@
+// Minimal IPv4 (no options) and UDP headers — enough to exercise the L3 LPM
+// table and give end-host flows realistic framing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace tpp::net {
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t v) : v_(v) {}
+  static constexpr Ipv4Address fromOctets(std::uint8_t a, std::uint8_t b,
+                                          std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | d};
+  }
+  // 10.x.y.z host numbering used throughout the experiments.
+  static constexpr Ipv4Address forHost(std::uint32_t hostIndex) {
+    return Ipv4Address{(10u << 24) | hostIndex};
+  }
+  constexpr std::uint32_t value() const { return v_; }
+  std::string toString() const;
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// ECN codepoints (RFC 3168), low two bits of the traffic-class byte.
+inline constexpr std::uint8_t kEcnNotEct = 0b00;
+inline constexpr std::uint8_t kEcnEct0 = 0b10;
+inline constexpr std::uint8_t kEcnCe = 0b11;  // congestion experienced
+
+struct Ipv4Header {
+  std::uint16_t totalLength = 0;  // header + payload bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint8_t ecn = kEcnNotEct;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  // Serializes (with computed checksum) into b[0..20).
+  void write(std::span<std::uint8_t> b) const;
+  // Parses and verifies the checksum; nullopt on truncation/corruption.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> b);
+
+  // In-place Congestion Experienced marking of the header at b[0..20),
+  // with incremental checksum fixup — what an ECN AQM does at enqueue.
+  static void markCe(std::span<std::uint8_t> b);
+};
+
+struct UdpHeader {
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  void write(std::span<std::uint8_t> b) const;
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> b);
+};
+
+// RFC 1071 ones-complement checksum over `data`.
+std::uint16_t internetChecksum(std::span<const std::uint8_t> data);
+
+}  // namespace tpp::net
+
+template <>
+struct std::hash<tpp::net::Ipv4Address> {
+  std::size_t operator()(const tpp::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,49 @@
+#include "src/net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tpp::net {
+
+sim::Time Channel::transmit(PacketPtr packet) {
+  assert(rx_ != nullptr && "channel has no receiver attached");
+  const sim::Time start = std::max(busyUntil_, sim_.now());
+  const std::size_t wireBytes = packet->size() + kEthernetWireOverhead;
+  const sim::Time end = start + sim::transmissionTime(wireBytes, rateBps_);
+  busyUntil_ = end;
+  const std::size_t payloadBytes = packet->size();
+  // Deliver after serialization + propagation. The shared_ptr shim lets the
+  // move-only packet ride inside a std::function.
+  auto carried = std::make_shared<PacketPtr>(std::move(packet));
+  sim_.scheduleAt(end + propDelay_, [this, carried, payloadBytes] {
+    ++delivered_;
+    bytesDelivered_ += payloadBytes;
+    rx_->receive(std::move(*carried), rxPort_);
+  });
+  return end;
+}
+
+void Node::attachPort(std::size_t port, Channel* tx) {
+  if (txChannels_.size() <= port) txChannels_.resize(port + 1, nullptr);
+  assert(txChannels_[port] == nullptr && "port already wired");
+  txChannels_[port] = tx;
+}
+
+std::unique_ptr<DuplexLink> DuplexLink::connect(sim::Simulator& simulator,
+                                                Node& a, std::size_t portA,
+                                                Node& b, std::size_t portB,
+                                                std::uint64_t rateBps,
+                                                sim::Time propagationDelay) {
+  auto link = std::unique_ptr<DuplexLink>(new DuplexLink);
+  link->aToB_ =
+      std::make_unique<Channel>(simulator, rateBps, propagationDelay);
+  link->bToA_ =
+      std::make_unique<Channel>(simulator, rateBps, propagationDelay);
+  link->aToB_->attachReceiver(&b, portB);
+  link->bToA_->attachReceiver(&a, portA);
+  a.attachPort(portA, link->aToB_.get());
+  b.attachPort(portB, link->bToA_.get());
+  return link;
+}
+
+}  // namespace tpp::net

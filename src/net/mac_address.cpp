@@ -1,0 +1,46 @@
+#include "src/net/mac_address.hpp"
+
+#include <cstdio>
+
+namespace tpp::net {
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> out{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = hex(text[pos]);
+    const int lo = hex(text[pos + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((hi << 4) | lo);
+    pos += 2;
+    if (i < 5) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress{out};
+}
+
+std::uint64_t MacAddress::toU64() const {
+  std::uint64_t v = 0;
+  for (const auto b : bytes_) v = (v << 8) | b;
+  return v;
+}
+
+std::string MacAddress::toString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace tpp::net

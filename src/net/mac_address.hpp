@@ -1,0 +1,56 @@
+// 48-bit Ethernet MAC address value type.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace tpp::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> bytes)
+      : bytes_(bytes) {}
+
+  // Deterministic address for simulated NIC `n`: 02:00:00:xx:xx:xx with the
+  // locally-administered bit set.
+  static constexpr MacAddress fromIndex(std::uint32_t n) {
+    return MacAddress({0x02, 0x00,
+                       static_cast<std::uint8_t>(n >> 24),
+                       static_cast<std::uint8_t>(n >> 16),
+                       static_cast<std::uint8_t>(n >> 8),
+                       static_cast<std::uint8_t>(n)});
+  }
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+  // Parses "aa:bb:cc:dd:ee:ff".
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  bool isBroadcast() const { return *this == broadcast(); }
+  bool isMulticast() const { return (bytes_[0] & 0x01) != 0; }
+  std::uint64_t toU64() const;
+
+  std::string toString() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace tpp::net
+
+template <>
+struct std::hash<tpp::net::MacAddress> {
+  std::size_t operator()(const tpp::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.toU64());
+  }
+};

@@ -1,0 +1,39 @@
+// Node: anything with numbered ports that can receive packets — switches and
+// hosts. Wiring is done by DuplexLink::connect, which hands each endpoint the
+// transmit channel for its port.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.hpp"
+
+namespace tpp::net {
+
+class Channel;
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // A packet fully arrived on `port`.
+  virtual void receive(PacketPtr packet, std::size_t port) = 0;
+
+  // Called by DuplexLink::connect. `tx` remains owned by the link.
+  virtual void attachPort(std::size_t port, Channel* tx);
+
+  std::size_t portCount() const { return txChannels_.size(); }
+  Channel* txChannel(std::size_t port) const { return txChannels_.at(port); }
+
+ private:
+  std::string name_;
+  std::vector<Channel*> txChannels_;
+};
+
+}  // namespace tpp::net

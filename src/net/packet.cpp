@@ -1,0 +1,37 @@
+#include "src/net/packet.hpp"
+
+#include <cstdio>
+
+namespace tpp::net {
+
+std::uint64_t& Packet::nextId() {
+  static std::uint64_t id = 1;
+  return id;
+}
+
+PacketPtr Packet::clone() const {
+  auto p = std::make_unique<Packet>(bytes_);
+  p->meta_ = meta_;
+  p->createdAt = createdAt;
+  p->flowId = flowId;
+  return p;
+}
+
+std::string Packet::hexdump(std::size_t maxBytes) const {
+  std::string out;
+  const std::size_t n = std::min(maxBytes, bytes_.size());
+  char line[24];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 16 == 0) {
+      std::snprintf(line, sizeof line, "%04zx  ", i);
+      out += line;
+    }
+    std::snprintf(line, sizeof line, "%02x ", bytes_[i]);
+    out += line;
+    if (i % 16 == 15 || i + 1 == n) out += '\n';
+  }
+  if (n < bytes_.size()) out += "...\n";
+  return out;
+}
+
+}  // namespace tpp::net

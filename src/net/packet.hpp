@@ -1,0 +1,77 @@
+// Packet: owned wire bytes plus simulation-side metadata.
+//
+// The byte buffer is exactly what would appear on the wire (minus preamble,
+// FCS and inter-frame gap, which are accounted for as a fixed serialization
+// overhead by Link). The metadata block models the per-packet registers an
+// ASIC carries alongside a packet through its pipeline (Table 2's
+// "Per-Packet" namespace); it is rewritten at every hop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace tpp::net {
+
+// Per-hop pipeline registers. Reset on ingress at each switch, filled in by
+// pipeline stages, readable by TPPs through the PacketMetadata namespace.
+struct PacketMeta {
+  std::uint32_t inputPort = 0;
+  std::uint32_t outputPort = 0;
+  std::uint32_t queueId = 0;
+  // Unique id of the flow-table entry that determined forwarding, stamped
+  // with the entry's version (ndb, §2.3).
+  std::uint32_t matchedEntryId = 0;
+  std::uint32_t matchedTable = 0;   // 1=L2, 2=L3, 3=TCAM, 0=miss
+  std::uint32_t altRouteCount = 0;  // alternate next-hops for this packet
+};
+
+class Packet;
+using PacketPtr = std::unique_ptr<Packet>;
+
+class Packet {
+ public:
+  explicit Packet(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)), id_(nextId()++) {}
+
+  static PacketPtr make(std::vector<std::uint8_t> bytes) {
+    return std::make_unique<Packet>(std::move(bytes));
+  }
+  static PacketPtr make(std::size_t size, std::uint8_t fill = 0) {
+    return std::make_unique<Packet>(std::vector<std::uint8_t>(size, fill));
+  }
+
+  PacketPtr clone() const;
+
+  std::vector<std::uint8_t>& bytes() { return bytes_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::span<std::uint8_t> span() { return bytes_; }
+  std::span<const std::uint8_t> span() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint64_t id() const { return id_; }
+
+  PacketMeta& meta() { return meta_; }
+  const PacketMeta& meta() const { return meta_; }
+  void resetMeta() { meta_ = PacketMeta{}; }
+
+  // Experiment bookkeeping (not visible to the dataplane).
+  sim::Time createdAt = sim::Time::zero();
+  std::uint64_t flowId = 0;
+
+  // Hex dump of the first `maxBytes` bytes, 16 per line, for debugging.
+  std::string hexdump(std::size_t maxBytes = 128) const;
+
+ private:
+  static std::uint64_t& nextId();
+
+  std::vector<std::uint8_t> bytes_;
+  PacketMeta meta_;
+  std::uint64_t id_;
+};
+
+}  // namespace tpp::net

@@ -1,0 +1,52 @@
+#include "src/rcp/rcp.hpp"
+
+#include <algorithm>
+
+#include "src/net/byte_io.hpp"
+
+namespace tpp::rcp {
+
+double rcpStep(double rateBps, double capacityBps, double offeredBps,
+               double avgQueueBits, double periodSeconds,
+               const RcpParams& params) {
+  const double d = params.rttSeconds;
+  const double feedback = params.alpha * (capacityBps - offeredBps) -
+                          params.beta * avgQueueBits / d;
+  double next =
+      rateBps * (1.0 + (periodSeconds / d) * feedback / capacityBps);
+  next = std::clamp(next, params.minRateFraction * capacityBps, capacityBps);
+  return next;
+}
+
+void RcpHeader::write(std::span<std::uint8_t> payload) const {
+  net::putBe32(payload, 0, kRcpMagic);
+  net::putBe32(payload, 4, rateKbps);
+  net::putBe32(payload, 8, rttMicros);
+}
+
+std::optional<RcpHeader> RcpHeader::parse(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < kRcpHeaderBytes) return std::nullopt;
+  if (*net::getBe32(payload, 0) != kRcpMagic) return std::nullopt;
+  RcpHeader h;
+  h.rateKbps = *net::getBe32(payload, 4);
+  h.rttMicros = *net::getBe32(payload, 8);
+  return h;
+}
+
+bool RcpHeader::stampMinRate(std::span<std::uint8_t> payload,
+                             std::uint32_t rateKbps) {
+  if (payload.size() < kRcpHeaderBytes) return false;
+  if (*net::getBe32(std::span<const std::uint8_t>(payload), 0) != kRcpMagic) {
+    return false;
+  }
+  const std::uint32_t current =
+      *net::getBe32(std::span<const std::uint8_t>(payload), 4);
+  if (rateKbps < current) {
+    net::putBe32(payload, 4, rateKbps);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tpp::rcp

@@ -1,0 +1,57 @@
+// Rate Control Protocol: the control equation (paper §2.2, citing RCP [1])
+// and the in-band rate header data packets carry.
+//
+//   R(t+T) = R(t) * (1 + (T/d) * (α(C − y(t)) − β q(t)/d) / C)
+//
+// where C is link capacity, y(t) average ingress utilization over the
+// period, q(t) average queue size, d the average RTT of flows through the
+// link, and α, β configurable gains (Fig 2 uses α=0.5, β=1).
+//
+// Both implementations share this equation: the in-switch baseline
+// (RcpRouter) evaluates it in the "ASIC", the end-host RCP* (apps/rcpstar)
+// evaluates it at senders from TPP-collected samples — the refactoring the
+// paper advocates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace tpp::rcp {
+
+struct RcpParams {
+  double alpha = 0.5;
+  double beta = 1.0;
+  // Average round-trip time d of flows through the link, seconds.
+  double rttSeconds = 0.1;
+  // Floor keeps R(t) from collapsing to zero (and new flows from starving).
+  double minRateFraction = 0.01;
+};
+
+// One control-equation step. All rates in bits/sec, qBits in bits, periods
+// in seconds. Returns the new R clamped to [minRateFraction*C, C].
+double rcpStep(double rateBps, double capacityBps, double offeredBps,
+               double avgQueueBits, double periodSeconds,
+               const RcpParams& params);
+
+// In-band RCP rate header, carried in the first bytes of the UDP payload:
+//   magic "RCP1" (4 B) | rateKbps (4 B) | rttMicros (4 B)
+// Senders initialize rateKbps to their demand (or ~infinity); each RCP
+// router lowers it to its link's R(t) if smaller; receivers feed the final
+// value back to the sender.
+inline constexpr std::uint32_t kRcpMagic = 0x52435031;  // "RCP1"
+inline constexpr std::size_t kRcpHeaderBytes = 12;
+
+struct RcpHeader {
+  std::uint32_t rateKbps = 0xffffffff;
+  std::uint32_t rttMicros = 0;
+
+  // Writes at the front of `payload` (must be >= kRcpHeaderBytes).
+  void write(std::span<std::uint8_t> payload) const;
+  static std::optional<RcpHeader> parse(std::span<const std::uint8_t> payload);
+  // In-place rate update without a full reserialize (what the ASIC does).
+  static bool stampMinRate(std::span<std::uint8_t> payload,
+                           std::uint32_t rateKbps);
+};
+
+}  // namespace tpp::rcp

@@ -1,0 +1,91 @@
+#include "src/rcp/rcp_router.hpp"
+
+#include "src/asic/parser.hpp"
+#include "src/core/memory_map.hpp"
+
+namespace tpp::rcp {
+
+RcpRouter::RcpRouter(asic::Switch& sw, Config config)
+    : sw_(sw), config_(std::move(config)) {
+  states_.reserve(config_.managedPorts.size());
+  for (const auto port : config_.managedPorts) {
+    states_.push_back(PortState{port, 0.0, 0, 0.0});
+  }
+}
+
+void RcpRouter::start() {
+  for (auto& s : states_) {
+    s.rateBps = static_cast<double>(sw_.portCapacityBps(s.port));
+    s.lastOfferedBytes = sw_.portOfferedBytes(s.port);
+    s.lastQueueIntegral = sw_.queueByteTimeIntegral(s.port);
+    writeRegister(s);
+  }
+  sw_.simulator().schedule(config_.period, [this] { updateAll(); });
+}
+
+void RcpRouter::writeRegister(const PortState& state) {
+  sw_.scratchWrite(core::addr::RcpRateRegister,
+                   static_cast<std::uint32_t>(state.rateBps / 1000.0),
+                   state.port);
+}
+
+void RcpRouter::updateAll() {
+  const double T = config_.period.toSeconds();
+  const auto now = sw_.simulator().now();
+  (void)now;
+  for (auto& s : states_) {
+    const double capacity = static_cast<double>(sw_.portCapacityBps(s.port));
+    if (capacity <= 0) continue;
+
+    const std::uint64_t offered = sw_.portOfferedBytes(s.port);
+    const double offeredBps =
+        static_cast<double>(offered - s.lastOfferedBytes) * 8.0 / T;
+    s.lastOfferedBytes = offered;
+
+    const double integral = sw_.queueByteTimeIntegral(s.port);
+    const double avgQueueBits = (integral - s.lastQueueIntegral) * 8.0 / T;
+    s.lastQueueIntegral = integral;
+
+    s.rateBps = rcpStep(s.rateBps, capacity, offeredBps, avgQueueBits, T,
+                        config_.params);
+    writeRegister(s);
+  }
+  sw_.simulator().schedule(config_.period, [this] { updateAll(); });
+}
+
+double RcpRouter::rateBps(std::size_t port) const {
+  for (const auto& s : states_) {
+    if (s.port == port) return s.rateBps;
+  }
+  return 0.0;
+}
+
+void RcpRouter::onEnqueue(net::Packet& packet, std::size_t egressPort) {
+  if (!config_.stampPackets) return;
+  const PortState* state = nullptr;
+  for (const auto& s : states_) {
+    if (s.port == egressPort) {
+      state = &s;
+      break;
+    }
+  }
+  if (state == nullptr) return;
+
+  auto parsed = asic::parsePacket(packet);
+  if (!parsed || !parsed->udp) return;
+  const std::size_t payloadLen =
+      parsed->udp->length >= net::kUdpHeaderSize
+          ? parsed->udp->length - net::kUdpHeaderSize
+          : 0;
+  if (parsed->l4PayloadOffset + payloadLen > packet.size() ||
+      payloadLen < kRcpHeaderBytes) {
+    return;
+  }
+  auto payload = packet.span().subspan(parsed->l4PayloadOffset, payloadLen);
+  if (RcpHeader::stampMinRate(
+          payload, static_cast<std::uint32_t>(state->rateBps / 1000.0))) {
+    ++stamped_;
+  }
+}
+
+}  // namespace tpp::rcp

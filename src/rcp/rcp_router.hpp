@@ -1,0 +1,59 @@
+// In-switch RCP baseline: the router evaluates the RCP control equation
+// periodically per egress port and stamps every passing RCP data packet
+// with min(packet rate, link rate) — the functionality that would require
+// a dedicated ASIC feature, which the paper's RCP* refactors out to
+// end-hosts (§2.2, Fig 2's "RCP: simulation" curve).
+//
+// R(t) is stored in the per-port scratch word addr::RcpRateRegister (in
+// Kbit/s), the same register RCP* uses — so TPP-based tooling can inspect
+// the baseline, and both implementations are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asic/switch.hpp"
+#include "src/rcp/rcp.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tpp::rcp {
+
+class RcpRouter final : public asic::EgressInterceptor {
+ public:
+  struct Config {
+    RcpParams params;
+    sim::Time period = sim::Time::ms(10);
+    std::vector<std::size_t> managedPorts;  // egress ports running RCP
+    bool stampPackets = true;  // false = registers only (RCP* mode)
+  };
+
+  RcpRouter(asic::Switch& sw, Config config);
+
+  // Initializes each managed port's rate register to link capacity
+  // (paper fn 3) and starts the periodic update loop. The caller must have
+  // wired the switch's links first (capacity is read from them) and should
+  // also call sw.setEgressInterceptor(&router).
+  void start();
+
+  void onEnqueue(net::Packet& packet, std::size_t egressPort) override;
+
+  double rateBps(std::size_t port) const;
+  std::uint64_t packetsStamped() const { return stamped_; }
+
+ private:
+  struct PortState {
+    std::size_t port = 0;
+    double rateBps = 0;
+    std::uint64_t lastOfferedBytes = 0;
+    double lastQueueIntegral = 0;
+  };
+  void updateAll();
+  void writeRegister(const PortState& state);
+
+  asic::Switch& sw_;
+  Config config_;
+  std::vector<PortState> states_;
+  std::uint64_t stamped_ = 0;
+};
+
+}  // namespace tpp::rcp

@@ -1,0 +1,39 @@
+#include "src/sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace tpp::sim {
+
+EventHandle EventQueue::push(Time at, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{at, nextSeq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+void EventQueue::dropCancelledHead() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  dropCancelledHead();
+  return heap_.empty();
+}
+
+Time EventQueue::nextTime() {
+  dropCancelledHead();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::optional<EventQueue::Fired> EventQueue::tryPop() {
+  dropCancelledHead();
+  if (heap_.empty()) return std::nullopt;
+  // priority_queue::top() is const; moving out is safe because we pop
+  // immediately and never touch the moved-from entry again.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  *e.cancelled = true;  // consumed: handles report !pending()
+  return Fired{e.at, std::move(e.fn)};
+}
+
+}  // namespace tpp::sim

@@ -1,0 +1,71 @@
+// A deterministic event queue: events fire in (time, insertion-sequence)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled, independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace tpp::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancelling a pending event. Copyable; cancelling twice is a
+// no-op, as is cancelling an event that already fired.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() { if (cancelled_) *cancelled_ = true; }
+  bool pending() const { return cancelled_ && !*cancelled_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> c) : cancelled_(std::move(c)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  EventHandle push(Time at, EventFn fn);
+
+  // True when no live (non-cancelled) events remain. Purges cancelled
+  // entries from the head as a side effect, hence non-const.
+  bool empty();
+  std::size_t size() const { return heap_.size(); }
+
+  // Time of the earliest live event. Precondition: !empty().
+  Time nextTime();
+
+  struct Fired {
+    Time at;
+    EventFn fn;
+  };
+  // Pops the earliest live event, or nullopt if none remain.
+  std::optional<Fired> tryPop();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  void dropCancelledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace tpp::sim

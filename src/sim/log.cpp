@@ -1,0 +1,35 @@
+#include "src/sim/log.hpp"
+
+#include <cstdio>
+
+namespace tpp::sim {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO";
+    case LogLevel::Warn:  return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::setLevel(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+
+void Log::write(LogLevel level, std::string_view tag, Time when,
+                std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%11.6fs] %-5s %.*s: %.*s\n", when.toSeconds(),
+               levelName(level), static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace tpp::sim

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Simulation components log through a per-component
+// tag; the global level defaults to Warn so tests and benches stay quiet
+// unless an experiment opts in.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/sim/time.hpp"
+
+namespace tpp::sim {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+class Log {
+ public:
+  static void setLevel(LogLevel level);
+  static LogLevel level();
+
+  // Writes one line to stderr if `level` passes the global threshold.
+  static void write(LogLevel level, std::string_view tag, Time when,
+                    std::string_view message);
+};
+
+// Usage: TPP_LOG(Info, "switch0", sim.now()) << "enqueued " << n << " bytes";
+// The stream body is only evaluated when the level is enabled.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag, Time when)
+      : level_(level), tag_(tag), when_(when),
+        enabled_(level >= Log::level()) {}
+  ~LogLine() {
+    if (enabled_) Log::write(level_, tag_, when_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  Time when_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+}  // namespace tpp::sim
+
+#define TPP_LOG(level, tag, when) \
+  ::tpp::sim::LogLine(::tpp::sim::LogLevel::level, (tag), (when))

@@ -1,0 +1,59 @@
+#include "src/sim/random.hpp"
+
+#include <cmath>
+
+namespace tpp::sim {
+namespace {
+
+// FNV-1a, used only for substream derivation (not security-sensitive).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng Rng::fork(std::string_view name) const {
+  // Mix the parent seed with the name hash through splitmix64 to decorrelate
+  // substreams whose names differ by one bit.
+  std::uint64_t z = seed_ ^ fnv1a(name);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng{z};
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::paretoBounded(double shape, double lo, double hi) {
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi].
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, shape);
+  const double ha = std::pow(hi, shape);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+}  // namespace tpp::sim

@@ -1,0 +1,40 @@
+// Seeded pseudo-randomness with named, independently-reproducible substreams.
+//
+// Every stochastic component forks its own stream by name so that adding a
+// new consumer of randomness does not perturb existing ones — a requirement
+// for regression-testing simulation output.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace tpp::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Derives an independent stream; the same (seed, name) pair always yields
+  // the same stream.
+  Rng fork(std::string_view name) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+  double uniform(double lo, double hi);
+  // Integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  double exponential(double mean);
+  // Bounded Pareto — the canonical heavy-tailed flow-size distribution.
+  double paretoBounded(double shape, double lo, double hi);
+  bool bernoulli(double p);
+  double normal(double mean, double stddev);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tpp::sim

@@ -1,0 +1,47 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace tpp::sim {
+
+EventHandle Simulator::schedule(Time delay, EventFn fn) {
+  return scheduleAt(now_ + std::max(delay, Time::zero()), std::move(fn));
+}
+
+EventHandle Simulator::scheduleAt(Time at, EventFn fn) {
+  return queue_.push(std::max(at, now_), std::move(fn));
+}
+
+std::uint64_t Simulator::run(Time until) {
+  std::uint64_t n = 0;
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.nextTime() > until) break;
+    auto fired = queue_.tryPop();
+    if (!fired) break;
+    now_ = fired->at;
+    fired->fn();
+    ++n;
+    ++executed_;
+  }
+  // If we ran out of events before `until`, advance the clock so repeated
+  // run(until) calls observe monotonic time.
+  if (until != Time::max() && now_ < until && !stopped_) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulator::runEvents(std::uint64_t maxEvents) {
+  std::uint64_t n = 0;
+  stopped_ = false;
+  while (!stopped_ && n < maxEvents && !queue_.empty()) {
+    auto fired = queue_.tryPop();
+    if (!fired) break;
+    now_ = fired->at;
+    fired->fn();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+}  // namespace tpp::sim

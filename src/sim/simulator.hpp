@@ -1,0 +1,49 @@
+// The discrete-event simulator: a clock plus an event queue.
+//
+// Components hold a Simulator& and schedule callbacks; the main loop pops
+// events in deterministic order and advances the clock. There is exactly one
+// Simulator per experiment; it is not thread-safe (the whole simulation is
+// single-threaded by design — determinism is a feature we test for).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/time.hpp"
+
+namespace tpp::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after now. Negative delays clamp to now.
+  EventHandle schedule(Time delay, EventFn fn);
+  // Schedules `fn` at an absolute instant (clamped to now if in the past).
+  EventHandle scheduleAt(Time at, EventFn fn);
+
+  // Runs until the queue drains, `until` is reached, or stop() is called.
+  // Returns the number of events executed.
+  std::uint64_t run(Time until = Time::max());
+
+  // Runs at most `maxEvents` events (for step-debugging in tests).
+  std::uint64_t runEvents(std::uint64_t maxEvents);
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t eventsExecuted() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tpp::sim

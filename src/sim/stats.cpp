@@ -1,0 +1,119 @@
+#include "src/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tpp::sim {
+
+void Ewma::add(double sample) {
+  if (!primed_) {
+    value_ = sample;
+    primed_ = true;
+  } else {
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+void WindowedRate::add(Time now, std::uint64_t bytes) {
+  roll(now);
+  bytesInWindow_ += bytes;
+}
+
+double WindowedRate::rateBps(Time now) {
+  roll(now);
+  return lastRateBps_;
+}
+
+void WindowedRate::roll(Time now) {
+  if (now < windowStart_ + window_) return;
+  lastRateBps_ = static_cast<double>(bytesInWindow_) * 8.0 /
+                 window_.toSeconds();
+  bytesInWindow_ = 0;
+  const std::int64_t elapsed = (now - windowStart_).nanos();
+  const std::int64_t nwin = elapsed / window_.nanos();
+  // If one or more whole idle windows elapsed since the window we just
+  // closed, the most recently completed window carried no traffic.
+  if (nwin >= 2) lastRateBps_ = 0.0;
+  windowStart_ += window_ * nwin;
+}
+
+void Summary::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins + 1, 0) {}
+
+void Histogram::add(double x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = bins_.size() - 1;  // overflow bin
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, bins_.size() - 2);
+  }
+  ++bins_[idx];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen > target) {
+      if (i == bins_.size() - 1) return hi_;  // overflow: report the cap
+      return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::toString() const {
+  std::ostringstream os;
+  os << "hist[" << lo_ << "," << hi_ << ") n=" << total_
+     << " p50=" << quantile(0.5) << " p99=" << quantile(0.99);
+  return os.str();
+}
+
+double TimeSeries::meanOver(Time from, Time to) const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= from && t < to) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string TimeSeries::toCsv() const {
+  std::ostringstream os;
+  for (const auto& [t, v] : points_) os << t.toSeconds() << "," << v << "\n";
+  return os.str();
+}
+
+}  // namespace tpp::sim

@@ -1,0 +1,99 @@
+// Small statistics toolkit shared across the simulator: EWMA, windowed rate
+// estimation, summary accumulators, histograms, and time series (for the
+// benches that print figure data).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace tpp::sim {
+
+// Exponentially weighted moving average with per-sample weight `alpha`.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+  void add(double sample);
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+// Byte-rate estimator over fixed windows: add(bytes) as traffic arrives,
+// rateBps(now) returns the rate measured over the last *completed* window.
+// This models how an ASIC tracks RX utilization in a register.
+class WindowedRate {
+ public:
+  explicit WindowedRate(Time window) : window_(window) {}
+  void add(Time now, std::uint64_t bytes);
+  double rateBps(Time now);
+  Time window() const { return window_; }
+
+ private:
+  void roll(Time now);
+  Time window_;
+  Time windowStart_ = Time::zero();
+  std::uint64_t bytesInWindow_ = 0;
+  double lastRateBps_ = 0.0;
+};
+
+// Running min/mean/max/stddev accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bin linear histogram with overflow bin; supports quantile queries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  double quantile(double q) const;  // q in [0,1]
+  std::string toString() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> bins_;  // last bin is overflow
+  std::uint64_t total_ = 0;
+};
+
+// Timestamped series of doubles; used by benches to print figure data.
+class TimeSeries {
+ public:
+  void add(Time t, double v) { points_.emplace_back(t, v); }
+  const std::vector<std::pair<Time, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  // Mean of values with t in [from, to).
+  double meanOver(Time from, Time to) const;
+  // "t_seconds,value" lines, one per point.
+  std::string toCsv() const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+}  // namespace tpp::sim

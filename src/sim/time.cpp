@@ -1,0 +1,22 @@
+#include "src/sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tpp::sim {
+
+std::string Time::toString() const {
+  char buf[48];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6fs", toSeconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", toMillis());
+  } else if (ns_ >= 1'000 || ns_ <= -1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", toMicros());
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+}  // namespace tpp::sim

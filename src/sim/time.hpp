@@ -1,0 +1,62 @@
+// Simulation time: a signed 64-bit count of nanoseconds.
+//
+// A single type serves as both an instant (time since simulation start) and
+// a duration; this mirrors ns-3's design and avoids a proliferation of
+// conversion overloads in component interfaces.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace tpp::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors. Prefer these to the raw constructor at call sites.
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() { return Time{INT64_MAX}; }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double toMicros() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double toMillis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+  constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+  constexpr Time operator*(std::int64_t k) const { return Time{ns_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{ns_ / k}; }
+  constexpr double operator/(Time o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string toString() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+// Duration of serializing `bytes` onto a link of `bitsPerSec` capacity.
+constexpr Time transmissionTime(std::size_t bytes, std::uint64_t bitsPerSec) {
+  // ns = bits * 1e9 / rate. Compute in __int128 to avoid overflow for
+  // jumbo frames on slow links.
+  const __int128 bits = static_cast<__int128>(bytes) * 8;
+  return Time::ns(static_cast<std::int64_t>(bits * 1'000'000'000 /
+                                            static_cast<__int128>(bitsPerSec)));
+}
+
+}  // namespace tpp::sim

@@ -1,0 +1,3 @@
+// cycle_model is header-only today; this TU anchors the library target and
+// will host any future stateful pipeline accounting.
+#include "src/tcpu/cycle_model.hpp"

@@ -1,0 +1,39 @@
+// Cycle model of the TCPU's RISC pipeline (paper Fig 5 and §3.3).
+//
+// The header parser performs instruction fetch before the packet reaches
+// the TCPU, leaving a 4-stage pipeline (decode, execute, memory-read,
+// memory-write) with single-cycle stages: latency 4 cycles per instruction,
+// throughput 1 instruction/cycle once full. Memory-bank access latency is
+// hidden by pipelining (§3.3: "it can be hidden by pipelining multiple
+// requests"), so a program of N instructions completes in 4 + (N-1) cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tpp::tcpu {
+
+struct CycleModel {
+  std::uint32_t pipelineLatency = 4;  // cycles from decode to write-back
+  double clockGhz = 1.0;              // §3.3 assumes a 1 GHz ASIC
+
+  // Cycles to run `instructions` through the pipeline.
+  std::uint64_t cycles(std::size_t instructions) const {
+    if (instructions == 0) return 0;
+    return pipelineLatency + static_cast<std::uint64_t>(instructions) - 1;
+  }
+
+  double nanos(std::size_t instructions) const {
+    return static_cast<double>(cycles(instructions)) / clockGhz;
+  }
+
+  // Cut-through forwarding budget the TCPU must hide inside (§3.3 cites
+  // 300 ns minimum-size-packet cut-through latency for low-latency ASICs).
+  static constexpr double kCutThroughBudgetNs = 300.0;
+
+  bool fitsCutThrough(std::size_t instructions) const {
+    return nanos(instructions) <= kCutThroughBudgetNs;
+  }
+};
+
+}  // namespace tpp::tcpu

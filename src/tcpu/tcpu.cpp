@@ -1,0 +1,202 @@
+#include "src/tcpu/tcpu.hpp"
+
+#include <algorithm>
+
+namespace tpp::tcpu {
+
+using core::AddressingMode;
+using core::Fault;
+using core::Instruction;
+using core::kWordSize;
+using core::Opcode;
+using core::TppView;
+
+std::optional<std::size_t> Tcpu::effectiveIndex(const TppView& view,
+                                                std::uint8_t pmemOff) {
+  if (view.mode() == AddressingMode::Hop) {
+    // base:offset — word at hopNumber * perHopWords + offset (§3.2.2).
+    return static_cast<std::size_t>(view.hopNumber()) * view.perHopWords() +
+           pmemOff;
+  }
+  return pmemOff;
+}
+
+ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
+  ExecReport report;
+  ++tpps_;
+  const std::uint16_t taskId = view.taskId();
+  const std::size_t n = view.instrWords();
+
+  auto fault = [&](Fault f) {
+    view.setFault(f);
+    report.fault = f;
+    ++faults_;
+  };
+
+  std::size_t i = 0;
+  for (; i < n; ++i) {
+    const auto ins = Instruction::decode(view.instructionWord(i));
+    if (!ins) {
+      fault(Fault::BadInstruction);
+      break;
+    }
+
+    // Reads a mode-addressed pmem word, faulting on overflow.
+    auto pmemAt = [&](std::size_t idx) -> std::optional<std::uint32_t> {
+      const auto v = view.pmemWord(idx);
+      if (!v) {
+        fault(view.mode() == AddressingMode::Hop ? Fault::HopOverflow
+                                                 : Fault::PmemOutOfBounds);
+      }
+      return v;
+    };
+    auto pmemSet = [&](std::size_t idx, std::uint32_t v) -> bool {
+      if (!view.setPmemWord(idx, v)) {
+        fault(view.mode() == AddressingMode::Hop ? Fault::HopOverflow
+                                                 : Fault::PmemOutOfBounds);
+        return false;
+      }
+      return true;
+    };
+    auto readSwitch = [&](std::uint16_t a) -> std::optional<std::uint32_t> {
+      const auto r = memory.read(a, taskId);
+      if (r.fault != Fault::None) {
+        fault(r.fault);
+        return std::nullopt;
+      }
+      return r.value;
+    };
+    auto writeSwitch = [&](std::uint16_t a, std::uint32_t v) -> bool {
+      const auto f = memory.write(a, v, taskId);
+      if (f != Fault::None) {
+        fault(f);
+        return false;
+      }
+      return true;
+    };
+
+    bool done = false;
+    switch (ins->op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Push: {
+        const std::uint16_t sp = view.stackPointer();
+        const std::size_t idx = sp / kWordSize;
+        const auto v = readSwitch(ins->addr);
+        if (!v || !pmemSet(idx, *v)) {
+          done = true;
+          break;
+        }
+        view.setStackPointer(static_cast<std::uint16_t>(sp + kWordSize));
+        break;
+      }
+      case Opcode::Pop: {
+        const std::uint16_t sp = view.stackPointer();
+        if (sp < kWordSize) {
+          fault(Fault::PmemOutOfBounds);
+          done = true;
+          break;
+        }
+        const std::size_t idx = sp / kWordSize - 1;
+        const auto v = pmemAt(idx);
+        if (!v || !writeSwitch(ins->addr, *v)) {
+          done = true;
+          break;
+        }
+        view.setStackPointer(static_cast<std::uint16_t>(sp - kWordSize));
+        break;
+      }
+      case Opcode::Load: {
+        const auto idx = effectiveIndex(view, ins->pmemOff);
+        const auto v = readSwitch(ins->addr);
+        if (!v || !pmemSet(*idx, *v)) done = true;
+        break;
+      }
+      case Opcode::Store: {
+        const auto idx = effectiveIndex(view, ins->pmemOff);
+        const auto v = pmemAt(*idx);
+        if (!v || !writeSwitch(ins->addr, *v)) done = true;
+        break;
+      }
+      case Opcode::Cstore: {
+        // CSTORE dst,cond,src: linearizable compare-and-swap (§2.2).
+        // Operand words are ALWAYS absolute indices — they live in the
+        // immediate region the end-host initialized, independent of hop.
+        const auto cond = pmemAt(ins->pmemOff);
+        const auto src = pmemAt(ins->pmemOff + 1u);
+        if (!cond || !src) {
+          done = true;
+          break;
+        }
+        const auto old = readSwitch(ins->addr);
+        if (!old) {
+          done = true;
+          break;
+        }
+        if (*old == *cond && !writeSwitch(ins->addr, *src)) {
+          done = true;
+          break;
+        }
+        // Report the observed value so the end-host can tell whether the
+        // swap took effect (pmem[off] == cond ⇒ success).
+        if (!pmemSet(ins->pmemOff, *old)) done = true;
+        break;
+      }
+      case Opcode::Cexec: {
+        // Execute the REST of the program only if (reg & mask) == value.
+        const auto mask = pmemAt(ins->pmemOff);
+        const auto value = pmemAt(ins->pmemOff + 1u);
+        if (!mask || !value) {
+          done = true;
+          break;
+        }
+        const auto reg = readSwitch(ins->addr);
+        if (!reg) {
+          done = true;
+          break;
+        }
+        if ((*reg & *mask) != *value) {
+          view.setFlag(core::kFlagCexecSkipped);
+          report.cexecSkipped = true;
+          report.skipped = n - i - 1;
+          done = true;  // all subsequent instructions are not executed
+        }
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Min:
+      case Opcode::Max: {
+        const auto idx = effectiveIndex(view, ins->pmemOff);
+        const auto cur = pmemAt(*idx);
+        const auto v = readSwitch(ins->addr);
+        if (!cur || !v) {
+          done = true;
+          break;
+        }
+        std::uint32_t result = 0;
+        switch (ins->op) {
+          case Opcode::Add: result = *cur + *v; break;
+          case Opcode::Sub: result = *cur - *v; break;
+          case Opcode::Min: result = std::min(*cur, *v); break;
+          case Opcode::Max: result = std::max(*cur, *v); break;
+          default: break;
+        }
+        if (!pmemSet(*idx, result)) done = true;
+        break;
+      }
+    }
+
+    if (report.fault != Fault::None) break;
+    ++report.executed;
+    ++instructions_;
+    if (done) break;  // failed CEXEC predicate
+  }
+
+  report.cycles = model_.cycles(report.executed);
+  // Hop counter advances on every TCPU-enabled switch traversed.
+  view.setHopNumber(static_cast<std::uint8_t>(view.hopNumber() + 1));
+  return report;
+}
+
+}  // namespace tpp::tcpu

@@ -1,0 +1,78 @@
+// The TCPU: executes a TPP's instructions against a switch's unified
+// address space, mutating the packet in place (paper §3.2, §3.3).
+//
+// The switch pipeline hands the TCPU two things: a TppView over the packet
+// it is processing, and an AddressSpace that resolves 16-bit virtual
+// addresses to the ASIC's statistics, per-packet metadata registers, and
+// scratch SRAM, honoring the control-plane agent's task grants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/header.hpp"
+#include "src/core/isa.hpp"
+#include "src/tcpu/cycle_model.hpp"
+
+namespace tpp::tcpu {
+
+// Switch-memory access interface. The fault code distinguishes "address not
+// mapped", "statistic is read-only", and "outside this task's SRAM grant" —
+// end-hosts see the code in the returned TPP header.
+class AddressSpace {
+ public:
+  virtual ~AddressSpace() = default;
+
+  struct ReadResult {
+    std::uint32_t value = 0;
+    core::Fault fault = core::Fault::None;
+    static ReadResult ok(std::uint32_t v) { return {v, core::Fault::None}; }
+    static ReadResult fail(core::Fault f) { return {0, f}; }
+  };
+  virtual ReadResult read(std::uint16_t address, std::uint16_t taskId) = 0;
+
+  // Returns Fault::None on success.
+  virtual core::Fault write(std::uint16_t address, std::uint32_t value,
+                            std::uint16_t taskId) = 0;
+};
+
+struct ExecReport {
+  std::size_t executed = 0;  // instructions that ran to completion
+  std::size_t skipped = 0;   // instructions after a failed CEXEC predicate
+  core::Fault fault = core::Fault::None;
+  bool cexecSkipped = false;
+  std::uint64_t cycles = 0;  // modelled TCPU cycles for this packet
+
+  bool ok() const { return fault == core::Fault::None; }
+};
+
+class Tcpu {
+ public:
+  explicit Tcpu(CycleModel model = CycleModel{}) : model_(model) {}
+
+  // Runs every instruction (or stops at the first fault / failed CEXEC),
+  // updating packet memory, the stack pointer, fault flags, and the hop
+  // counter in place. The hop counter advances even on fault or skip: it
+  // counts TCPU-enabled switches traversed, which path-tracing tasks rely
+  // on (§2.3).
+  ExecReport execute(core::TppView& view, AddressSpace& memory);
+
+  const CycleModel& cycleModel() const { return model_; }
+
+  // Lifetime counters (per-switch instrumentation).
+  std::uint64_t tppsProcessed() const { return tpps_; }
+  std::uint64_t instructionsExecuted() const { return instructions_; }
+  std::uint64_t faults() const { return faults_; }
+
+ private:
+  // Effective packet-memory word index for a mode-addressed operand.
+  static std::optional<std::size_t> effectiveIndex(const core::TppView& view,
+                                                   std::uint8_t pmemOff);
+
+  CycleModel model_;
+  std::uint64_t tpps_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace tpp::tcpu

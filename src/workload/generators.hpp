@@ -1,0 +1,125 @@
+// Traffic generators: the synthetic workloads standing in for the
+// production traffic the paper's experiments observe (see DESIGN.md §2).
+//
+//   CbrSender            constant bit rate (a PacedFlow with a schedule)
+//   OnOffSender          exponential on/off bursts — sub-RTT congestion
+//   IncastBurst          N senders fire a B-byte burst at one receiver
+//                        simultaneously (the canonical micro-burst source)
+//   PoissonFlowGenerator Poisson arrivals of bounded-Pareto-sized flows
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/host/flow.hpp"
+#include "src/host/host.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tpp::workload {
+
+// On/off (burst/idle) traffic: during "on" periods sends at `peakRateBps`,
+// idle otherwise. On/off durations are exponentially distributed.
+class OnOffSender {
+ public:
+  struct Config {
+    host::FlowSpec flow;            // rateBps is ignored (peak used instead)
+    double peakRateBps = 1e9;
+    sim::Time meanOn = sim::Time::ms(1);
+    sim::Time meanOff = sim::Time::ms(9);
+  };
+
+  OnOffSender(host::Host& src, Config config, sim::Rng rng);
+
+  void start(sim::Time at);
+  void stop();
+
+  std::uint64_t bytesSent() const { return flow_.bytesSent(); }
+  host::PacedFlow& flow() { return flow_; }
+
+ private:
+  void toggle(bool on);
+
+  host::Host& src_;
+  Config config_;
+  sim::Rng rng_;
+  host::PacedFlow flow_;
+  bool running_ = false;
+  sim::EventHandle pending_;
+};
+
+// Synchronized incast: each of the `senders` transmits `burstBytes` to the
+// receiver starting at the same instant, optionally repeating every
+// `period`. This is how shallow egress buffers are driven into the
+// 100 µs-scale queue excursions §2.1 targets.
+class IncastBurst {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    std::uint64_t burstBytes = 64 * 1024;
+    std::size_t payloadBytes = 1000;
+    double lineRateBps = 1e9;
+    sim::Time period = sim::Time::zero();  // zero = one shot
+    std::uint16_t dstPort = 21000;
+  };
+
+  IncastBurst(std::vector<host::Host*> senders, Config config);
+
+  void start(sim::Time at);
+  // Cancels future rounds and halts any in-flight senders.
+  void stop();
+  std::size_t burstsFired() const { return bursts_; }
+
+ private:
+  void fire();
+
+  std::vector<host::Host*> senders_;
+  Config config_;
+  std::vector<std::unique_ptr<host::PacedFlow>> flows_;
+  std::size_t bursts_ = 0;
+  bool running_ = false;
+  sim::EventHandle pending_;
+};
+
+// Poisson flow arrivals with bounded-Pareto flow sizes (heavy-tailed, the
+// standard datacenter mix): each arrival starts a fresh line-rate flow from
+// a random sender to a fixed receiver.
+class PoissonFlowGenerator {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    double flowsPerSecond = 100.0;
+    double paretoShape = 1.2;
+    double minFlowBytes = 10.0 * 1024;
+    double maxFlowBytes = 10.0 * 1024 * 1024;
+    double lineRateBps = 1e9;
+    std::size_t payloadBytes = 1000;
+    std::uint16_t dstPort = 22000;
+  };
+
+  PoissonFlowGenerator(std::vector<host::Host*> senders, Config config,
+                       sim::Rng rng);
+
+  void start(sim::Time at);
+  void stop();
+
+  std::size_t flowsStarted() const { return flowsStarted_; }
+  std::uint64_t bytesOffered() const { return bytesOffered_; }
+
+ private:
+  void arrive();
+
+  std::vector<host::Host*> senders_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<host::PacedFlow>> flows_;
+  bool running_ = false;
+  std::size_t flowsStarted_ = 0;
+  std::uint64_t bytesOffered_ = 0;
+  sim::EventHandle pending_;
+};
+
+}  // namespace tpp::workload

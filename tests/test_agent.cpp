@@ -1,0 +1,121 @@
+#include "src/core/agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::core {
+namespace {
+
+TEST(SramAllocator, OpenModeAllowsEverything) {
+  SramAllocator a;
+  EXPECT_FALSE(a.enforcing());
+  EXPECT_TRUE(a.allows(0, kSramBase));
+  EXPECT_TRUE(a.allows(42, kPortScratchBase + 100));
+}
+
+TEST(SramAllocator, NonScratchAddressesAreNotItsConcern) {
+  SramAllocator a;
+  a.allocate(1, 4);
+  EXPECT_TRUE(a.enforcing());
+  EXPECT_TRUE(a.allows(99, addr::QueueBytes));
+  EXPECT_TRUE(a.allows(99, addr::SwitchId));
+}
+
+TEST(SramAllocator, GrantCoversItsWindowOnly) {
+  SramAllocator a;
+  const auto g = a.allocate(1, 4);
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g->baseAddress(), kSramBase);
+  EXPECT_TRUE(a.allows(1, kSramBase));
+  EXPECT_TRUE(a.allows(1, kSramBase + 3));
+  EXPECT_FALSE(a.allows(1, kSramBase + 4));
+  EXPECT_FALSE(a.allows(2, kSramBase));  // other task
+}
+
+TEST(SramAllocator, AllocationsAreDisjoint) {
+  SramAllocator a;
+  const auto g1 = a.allocate(1, 4);
+  const auto g2 = a.allocate(2, 4);
+  ASSERT_TRUE(g1);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->baseWord, g1->baseWord + g1->words);
+  EXPECT_FALSE(a.allows(1, g2->baseAddress()));
+  EXPECT_FALSE(a.allows(2, g1->baseAddress()));
+}
+
+TEST(SramAllocator, PerPortRegionIsSeparate) {
+  SramAllocator a;
+  const auto global = a.allocate(1, 4, StatNamespace::Sram);
+  const auto perPort = a.allocate(1, 4, StatNamespace::PortScratch);
+  ASSERT_TRUE(global);
+  ASSERT_TRUE(perPort);
+  EXPECT_EQ(perPort->baseAddress(), kPortScratchBase);
+  EXPECT_TRUE(a.allows(1, perPort->baseAddress()));
+}
+
+TEST(SramAllocator, ReleaseFreesAndReusesSpace) {
+  SramAllocator a;
+  const auto g1 = a.allocate(1, 8);
+  ASSERT_TRUE(g1);
+  a.release(1);
+  const auto g2 = a.allocate(2, 8);
+  ASSERT_TRUE(g2);
+  EXPECT_EQ(g2->baseWord, g1->baseWord);  // first-fit reuses the hole
+}
+
+TEST(SramAllocator, FirstFitFillsGaps) {
+  SramAllocator a;
+  const auto g1 = a.allocate(1, 4);
+  const auto g2 = a.allocate(2, 4);
+  ASSERT_TRUE(g1 && g2);
+  a.release(1);
+  const auto g3 = a.allocate(3, 2);  // fits in the released hole
+  ASSERT_TRUE(g3);
+  EXPECT_EQ(g3->baseWord, 0);
+}
+
+TEST(SramAllocator, ExhaustionFails) {
+  SramAllocator a;
+  EXPECT_TRUE(a.allocate(1, kSramWords));
+  EXPECT_FALSE(a.allocate(2, 1));
+}
+
+TEST(SramAllocator, RejectsDegenerateRequests) {
+  SramAllocator a;
+  EXPECT_FALSE(a.allocate(1, 0));
+  EXPECT_FALSE(a.allocate(1, 4, StatNamespace::Queue));
+}
+
+TEST(SramAllocator, MultipleGrantsPerTask) {
+  SramAllocator a;
+  // A second task keeps the allocator in enforcing mode after release(1);
+  // with no grants at all it would fall back to open mode.
+  ASSERT_TRUE(a.allocate(9, 1));
+  const auto g1 = a.allocate(1, 2);
+  const auto g2 = a.allocate(1, 2);
+  ASSERT_TRUE(g1 && g2);
+  EXPECT_TRUE(a.allows(1, g1->baseAddress()));
+  EXPECT_TRUE(a.allows(1, g2->baseAddress()));
+  a.release(1);
+  EXPECT_FALSE(a.allows(1, g1->baseAddress()));
+}
+
+TEST(SramAllocator, ReleasingLastGrantReopens) {
+  SramAllocator a;
+  const auto g = a.allocate(1, 2);
+  ASSERT_TRUE(g);
+  a.release(1);
+  EXPECT_FALSE(a.enforcing());
+  EXPECT_TRUE(a.allows(2, g->baseAddress()));
+}
+
+TEST(SramAllocator, PublishNameMakesSymbolResolvable) {
+  SramAllocator a;
+  const auto g = a.allocate(7, 4);
+  ASSERT_TRUE(g);
+  MemoryMap map = MemoryMap::standard();
+  SramAllocator::publishName(map, *g, 2, "MyTask:Counter");
+  EXPECT_EQ(map.resolve("MyTask:Counter"), g->baseAddress() + 2);
+}
+
+}  // namespace
+}  // namespace tpp::core

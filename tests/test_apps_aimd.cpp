@@ -1,0 +1,114 @@
+#include "src/apps/aimd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+constexpr std::uint64_t kBottleneck = 10'000'000;
+
+struct AimdFixture : public ::testing::Test {
+  Testbed tb;
+  void SetUp() override {
+    asic::SwitchConfig cfg;
+    cfg.bufferPerQueueBytes = 32 * 1024;
+    buildDumbbell(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                  host::LinkParams{kBottleneck, sim::Time::ms(1)}, cfg);
+  }
+  host::FlowSpec specFor(std::size_t pair, double rateBps) {
+    host::FlowSpec s;
+    s.dstMac = tb.host(2 + pair).mac();
+    s.dstIp = tb.host(2 + pair).ip();
+    s.srcPort = static_cast<std::uint16_t>(23000 + pair);
+    s.dstPort = s.srcPort;
+    s.rateBps = rateBps;
+    return s;
+  }
+};
+
+TEST_F(AimdFixture, ClimbsAdditivelyWithoutLoss) {
+  host::PacedFlow flow(tb.host(0), specFor(0, 200e3), 1);
+  AimdController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 100e3;
+  AimdController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(1));
+  // 20 loss-free periods: 200k + 20*100k ≈ 2.2 Mb/s (below bottleneck, so
+  // genuinely no loss).
+  EXPECT_NEAR(ctl.currentRateBps(), 2.2e6, 0.3e6);
+  EXPECT_EQ(ctl.lossesDetected(), 0u);
+  ctl.stop();
+}
+
+TEST_F(AimdFixture, BacksOffOnLoss) {
+  host::PacedFlow flow(tb.host(0), specFor(0, 200e3), 1);
+  AimdController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 500e3;  // climb fast so we overflow within the test
+  AimdController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(10));
+  EXPECT_GT(ctl.lossesDetected(), 0u);
+  // The sawtooth hovers around the bottleneck, never far above it.
+  EXPECT_LT(ctl.currentRateBps(), 1.5 * kBottleneck);
+  EXPECT_GT(ctl.currentRateBps(), 0.1 * kBottleneck);
+  ctl.stop();
+}
+
+TEST_F(AimdFixture, TwoFlowsOscillateAroundFairShare) {
+  host::PacedFlow f1(tb.host(0), specFor(0, 200e3), 1);
+  host::PacedFlow f2(tb.host(1), specFor(1, 200e3), 2);
+  AimdController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 200e3;
+  AimdController c1(f1, tb.host(2), cfg);
+  AimdController c2(f2, tb.host(3), cfg);
+  c1.start(sim::Time::zero());
+  c2.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(20));
+  // Long-run average of each flow's rate is near C/2 (AIMD fairness).
+  const double m1 = c1.rateSeries().meanOver(sim::Time::sec(10),
+                                             sim::Time::sec(20));
+  const double m2 = c2.rateSeries().meanOver(sim::Time::sec(10),
+                                             sim::Time::sec(20));
+  EXPECT_NEAR(m1, kBottleneck / 2.0, 0.35 * kBottleneck);
+  EXPECT_NEAR(m2, kBottleneck / 2.0, 0.35 * kBottleneck);
+  // And neither starves: they split within a factor of ~3.
+  EXPECT_LT(std::max(m1, m2) / std::min(m1, m2), 3.0);
+  c1.stop();
+  c2.stop();
+}
+
+TEST_F(AimdFixture, RespectsMinimumRate) {
+  host::PacedFlow flow(tb.host(0), specFor(0, 200e3), 1);
+  AimdController::Config cfg;
+  cfg.rtt = sim::Time::ms(10);
+  cfg.minRateBps = 150e3;
+  cfg.multiplicativeDecrease = 0.01;  // brutal decrease
+  AimdController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  // Induce loss artificially: a competing blast flow.
+  host::PacedFlow blast(tb.host(1), specFor(1, 50e6), 3);
+  blast.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(2));
+  EXPECT_GE(ctl.currentRateBps(), 150e3);
+  ctl.stop();
+  blast.stop();
+}
+
+TEST_F(AimdFixture, RateSeriesRecorded) {
+  host::PacedFlow flow(tb.host(0), specFor(0, 200e3), 1);
+  AimdController ctl(flow, tb.host(2), {});
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(1));
+  EXPECT_GE(ctl.rateSeries().size(), 15u);
+  ctl.stop();
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,132 @@
+#include "src/apps/dctcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/aimd.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+constexpr std::uint64_t kBottleneck = 10'000'000;
+constexpr std::uint64_t kEcnThreshold = 15'000;
+
+struct DctcpFixture : public ::testing::Test {
+  Testbed tb;
+
+  void SetUp() override {
+    asic::SwitchConfig cfg;
+    cfg.bufferPerQueueBytes = 256 * 1024;
+    cfg.ecnThresholdBytes = kEcnThreshold;
+    buildDumbbell(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                  host::LinkParams{kBottleneck, sim::Time::ms(1)}, cfg);
+  }
+
+  host::FlowSpec specFor(std::size_t pair) {
+    host::FlowSpec s;
+    s.dstMac = tb.host(2 + pair).mac();
+    s.dstIp = tb.host(2 + pair).ip();
+    s.srcPort = static_cast<std::uint16_t>(28000 + pair);
+    s.dstPort = s.srcPort;
+    s.rateBps = 200e3;
+    return s;
+  }
+};
+
+TEST_F(DctcpFixture, ClimbsThenHoldsNearCapacity) {
+  host::PacedFlow flow(tb.host(0), specFor(0), 1);
+  DctcpController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 500e3;
+  DctcpController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(10));
+  // Steady rate near C, modulated by marks (not collapsed, not runaway).
+  const double mean = ctl.rateSeries().meanOver(sim::Time::sec(5),
+                                                sim::Time::sec(10));
+  EXPECT_NEAR(mean, static_cast<double>(kBottleneck), 0.25 * kBottleneck);
+  EXPECT_GT(ctl.markedSeen(), 0u);
+  ctl.stop();
+}
+
+TEST_F(DctcpFixture, KeepsQueueNearTheMarkThreshold) {
+  host::PacedFlow flow(tb.host(0), specFor(0), 1);
+  DctcpController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 500e3;
+  DctcpController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(5));
+  const double before = tb.sw(0).queueByteTimeIntegral(2);
+  tb.sim().run(sim::Time::sec(10));
+  ctl.stop();
+  const double avgQueue =
+      (tb.sw(0).queueByteTimeIntegral(2) - before) / 5.0;
+  // The ECN loop parks the queue in the vicinity of the threshold — far
+  // below the 256 KB buffer a loss-based controller would fill.
+  EXPECT_LT(avgQueue, 4.0 * kEcnThreshold);
+}
+
+TEST_F(DctcpFixture, AlphaTracksCongestion) {
+  host::PacedFlow flow(tb.host(0), specFor(0), 1);
+  DctcpController ctl(flow, tb.host(2), {});
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(1));
+  EXPECT_DOUBLE_EQ(ctl.alpha(), 0.0);  // below capacity: no marks yet
+  tb.sim().run(sim::Time::sec(15));
+  EXPECT_GT(ctl.alpha(), 0.0);  // saturating: marks arrived
+  ctl.stop();
+}
+
+TEST_F(DctcpFixture, LowerStandingQueueThanAimd) {
+  // Same network, same demand: AIMD fills the buffer to find loss; DCTCP
+  // reacts to marks at the threshold.
+  const double aimdQueue = [] {
+    Testbed tb2;
+    asic::SwitchConfig cfg;
+    cfg.bufferPerQueueBytes = 256 * 1024;
+    cfg.ecnThresholdBytes = kEcnThreshold;
+    buildDumbbell(tb2, 2, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                  host::LinkParams{kBottleneck, sim::Time::ms(1)}, cfg);
+    host::FlowSpec s;
+    s.dstMac = tb2.host(2).mac();
+    s.dstIp = tb2.host(2).ip();
+    s.srcPort = 28000;
+    s.dstPort = 28000;
+    s.rateBps = 200e3;
+    host::PacedFlow flow(tb2.host(0), s, 1);
+    AimdController::Config acfg;
+    acfg.rtt = sim::Time::ms(50);
+    acfg.additiveBps = 500e3;
+    AimdController ctl(flow, tb2.host(2), acfg);
+    ctl.start(sim::Time::zero());
+    tb2.sim().run(sim::Time::sec(5));
+    const double before = tb2.sw(0).queueByteTimeIntegral(2);
+    tb2.sim().run(sim::Time::sec(15));
+    ctl.stop();
+    return (tb2.sw(0).queueByteTimeIntegral(2) - before) / 10.0;
+  }();
+
+  host::PacedFlow flow(tb.host(0), specFor(0), 1);
+  DctcpController::Config cfg;
+  cfg.rtt = sim::Time::ms(50);
+  cfg.additiveBps = 500e3;
+  DctcpController ctl(flow, tb.host(2), cfg);
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(5));
+  const double before = tb.sw(0).queueByteTimeIntegral(2);
+  tb.sim().run(sim::Time::sec(15));
+  ctl.stop();
+  const double dctcpQueue =
+      (tb.sw(0).queueByteTimeIntegral(2) - before) / 10.0;
+
+  EXPECT_LT(dctcpQueue, aimdQueue * 0.5)
+      << "dctcp=" << dctcpQueue << " aimd=" << aimdQueue;
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,141 @@
+#include "src/apps/latency_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/flow.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+TEST(LatencyProbeProgram, ShapeAndAddressing) {
+  const auto p = makeLatencyProbeProgram(6, 9);
+  EXPECT_EQ(p.mode, core::AddressingMode::Hop);
+  EXPECT_EQ(p.perHopWords, 4);
+  EXPECT_EQ(p.pmemWords, 24);
+  EXPECT_EQ(p.taskId, 9);
+  ASSERT_EQ(p.instructions.size(), 4u);
+  for (const auto& ins : p.instructions) {
+    EXPECT_EQ(ins.op, core::Opcode::Load);
+  }
+}
+
+struct ProfilerFixture : public ::testing::Test {
+  Testbed tb;
+  static constexpr std::uint64_t kRate = 100'000'000;  // 100 Mb/s links
+
+  void SetUp() override {
+    asic::SwitchConfig cfg;
+    cfg.bufferPerQueueBytes = 1 << 20;
+    buildChain(tb, 3, host::LinkParams{kRate, sim::Time::us(10)}, cfg);
+  }
+};
+
+TEST_F(ProfilerFixture, QuietPathShowsPropagationOnly) {
+  LatencyProfiler::Config cfg;
+  cfg.dstMac = tb.host(1).mac();
+  cfg.dstIp = tb.host(1).ip();
+  cfg.interval = sim::Time::ms(1);
+  LatencyProfiler profiler(tb.host(0), cfg);
+  profiler.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(50));
+  profiler.stop();
+  tb.sim().run();
+
+  ASSERT_EQ(profiler.hopsObserved(), 3u);
+  EXPECT_GT(profiler.resultsReceived(), 40u);
+  for (std::size_t h = 0; h < 2; ++h) {
+    // Segment = serialization of the small probe (~10 us at 100 Mb/s for
+    // ~130 B incl. overhead) + 10 us propagation; queueing ~0.
+    EXPECT_LT(profiler.hop(h).segmentDelayUs.mean(), 40.0);
+    EXPECT_GT(profiler.hop(h).segmentDelayUs.mean(), 9.0);
+    EXPECT_LT(profiler.hop(h).queueDelayUs.mean(), 1.0);
+  }
+}
+
+TEST_F(ProfilerFixture, AttributesQueueingToTheCongestedHop) {
+  // Cross traffic enters at sw1 at 150% of the sw1->sw2 link.
+  auto& xsrc = tb.addHost();
+  tb.link(xsrc, 0, tb.sw(1), 2, 1'000'000'000, sim::Time::us(1));
+  tb.installAllRoutes();
+  host::FlowSpec xspec;
+  xspec.dstMac = tb.host(1).mac();
+  xspec.dstIp = tb.host(1).ip();
+  xspec.rateBps = 1.5 * kRate;
+  host::PacedFlow cross(xsrc, xspec, 42);
+  cross.start(sim::Time::zero());
+
+  LatencyProfiler::Config cfg;
+  cfg.dstMac = tb.host(1).mac();
+  cfg.dstIp = tb.host(1).ip();
+  cfg.interval = sim::Time::ms(1);
+  LatencyProfiler profiler(tb.host(0), cfg);
+  profiler.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(40));
+  cross.stop();
+  profiler.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::sec(1));
+
+  ASSERT_EQ(profiler.hopsObserved(), 3u);
+  const double q0 = profiler.hop(0).queueDelayUs.mean();
+  const double q1 = profiler.hop(1).queueDelayUs.mean();
+  EXPECT_GT(q1, 100.0);       // the congested hop queues deeply
+  EXPECT_GT(q1, 20.0 * q0);   // and dominates the breakdown
+  // Segment delay between sw1 and sw2 reflects that queueing.
+  EXPECT_GT(profiler.hop(1).segmentDelayUs.mean(), q1 * 0.3);
+}
+
+TEST_F(ProfilerFixture, SegmentDelayTracksQueueDelayEstimate) {
+  // Under moderate congestion the two independent measurements agree:
+  // segment(h) ≈ queue(h) + serialization + propagation.
+  auto& xsrc = tb.addHost();
+  tb.link(xsrc, 0, tb.sw(1), 2, 1'000'000'000, sim::Time::us(1));
+  tb.installAllRoutes();
+  host::FlowSpec xspec;
+  xspec.dstMac = tb.host(1).mac();
+  xspec.dstIp = tb.host(1).ip();
+  xspec.rateBps = 1.2 * kRate;
+  host::PacedFlow cross(xsrc, xspec, 42);
+  cross.start(sim::Time::zero());
+
+  LatencyProfiler::Config cfg;
+  cfg.dstMac = tb.host(1).mac();
+  cfg.dstIp = tb.host(1).ip();
+  cfg.interval = sim::Time::ms(2);
+  LatencyProfiler profiler(tb.host(0), cfg);
+  profiler.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(30));
+  cross.stop();
+  profiler.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::sec(1));
+
+  const auto& hop1 = profiler.hop(1);
+  // The probe itself joins the tail of the queue it just measured, so the
+  // segment includes the queue estimate plus bounded extras.
+  EXPECT_GT(hop1.segmentDelayUs.mean(), hop1.queueDelayUs.mean() * 0.5);
+  EXPECT_LT(hop1.segmentDelayUs.mean(), hop1.queueDelayUs.mean() + 200.0);
+}
+
+TEST_F(ProfilerFixture, IgnoresForeignResults) {
+  LatencyProfiler::Config cfg;
+  cfg.dstMac = tb.host(1).mac();
+  cfg.dstIp = tb.host(1).ip();
+  cfg.taskId = 5;
+  LatencyProfiler profiler(tb.host(0), cfg);
+  profiler.start(sim::Time::zero());
+  // A stack-mode probe from another task on the same host.
+  core::ProgramBuilder other;
+  other.task(6);
+  other.push(core::addr::SwitchId);
+  other.reserve(4);
+  tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), *other.build());
+  tb.sim().run(sim::Time::ms(5));
+  profiler.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::sec(1));
+  EXPECT_EQ(profiler.resultsReceived(), profiler.probesSent());
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,116 @@
+#include "src/apps/mesh_prober.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+struct MeshFixture : public ::testing::Test {
+  Testbed tb;
+  host::FatTreeIndex ix;
+
+  void SetUp() override {
+    ix = buildFatTree(tb, 4, host::LinkParams{1'000'000'000,
+                                              sim::Time::us(2)});
+  }
+
+  std::vector<MeshProber::Pair> crossPodPairs() {
+    // One representative host per pod; probe pod 0 -> 1, 1 -> 2, 2 -> 3.
+    std::vector<MeshProber::Pair> pairs;
+    for (std::size_t p = 0; p + 1 < 4; ++p) {
+      pairs.push_back({&tb.host(ix.host(p, 0, 0)),
+                       &tb.host(ix.host(p + 1, 0, 0))});
+    }
+    return pairs;
+  }
+};
+
+TEST_F(MeshFixture, SweepsAnswerForEveryPair) {
+  MeshProber prober(crossPodPairs(), {});
+  prober.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(550));
+  prober.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  for (std::size_t i = 0; i < prober.pairCount(); ++i) {
+    const auto& h = prober.health(i);
+    EXPECT_GE(h.sent, 5u) << "pair " << i;
+    EXPECT_EQ(h.answered, h.sent) << "pair " << i;
+    EXPECT_EQ(h.lastPath.size(), 5u) << "pair " << i;  // cross-pod = 5 hops
+  }
+  EXPECT_TRUE(prober.unreachablePairs().empty());
+  EXPECT_GE(prober.sweepsCompleted(), 4u);
+}
+
+TEST_F(MeshFixture, MeasuresRtt) {
+  MeshProber prober(crossPodPairs(), {});
+  prober.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(350));
+  prober.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  const auto& h = prober.health(0);
+  ASSERT_GT(h.rttUs.count(), 0u);
+  // 10 one-way link traversals + echo; microseconds, not milliseconds.
+  EXPECT_GT(h.rttUs.mean(), 5.0);
+  EXPECT_LT(h.rttUs.mean(), 500.0);
+}
+
+TEST_F(MeshFixture, StablePathsReportNoChange) {
+  MeshProber prober(crossPodPairs(), {});
+  prober.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(350));
+  prober.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  for (std::size_t i = 0; i < prober.pairCount(); ++i) {
+    EXPECT_FALSE(prober.health(i).pathChanged) << "pair " << i;
+  }
+}
+
+TEST_F(MeshFixture, DetectsPathChangeAfterReroute) {
+  MeshProber prober(crossPodPairs(), {});
+  prober.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(250));
+  // Reroute pair 0's flow at its edge switch: pin the default route to the
+  // OTHER aggregation uplink (kill ECMP choice).
+  auto& edge = tb.sw(ix.edgeSw(0, 0));
+  const auto preferred = prober.health(0).lastPath;
+  ASSERT_GE(preferred.size(), 2u);
+  // Pin to whichever uplink it is NOT currently using: ports r..k-1 = 2,3.
+  const auto aggPort =
+      preferred[1] == tb.sw(ix.aggSw(0, 0)).config().switchId ? 3u : 2u;
+  edge.l3().addMultipath(net::Ipv4Address{0}, 0, {aggPort});
+  tb.sim().run(tb.sim().now() + sim::Time::ms(300));
+  prober.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  EXPECT_TRUE(prober.health(0).pathChanged);
+  EXPECT_TRUE(prober.unreachablePairs().empty());  // still reachable
+}
+
+TEST_F(MeshFixture, ReportsUnreachablePairAfterBlackhole) {
+  MeshProber prober(crossPodPairs(), {});
+  prober.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(250));
+  // Blackhole pair 1's destination at its edge switch: drop via TCAM.
+  auto& dst = tb.host(ix.host(2, 0, 0));
+  asic::TcamKey k;
+  k.ipDst = {dst.ip(), 32};
+  tb.sw(ix.edgeSw(2, 0)).tcam().add(k, asic::TcamAction{0, std::nullopt,
+                                                        /*drop=*/true},
+                                    1000);
+  tb.sim().run(tb.sim().now() + sim::Time::ms(300));
+  prober.stop();
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  const auto unreachable = prober.unreachablePairs();
+  // Pair 1's probes die at the blackhole; pair 2's probes get through but
+  // their ECHOES return to the blackholed host, so both pairs go dark —
+  // exactly what an operator sees when one host's /32 is poisoned.
+  ASSERT_EQ(unreachable.size(), 2u);
+  EXPECT_EQ(unreachable[0], 1u);
+  EXPECT_EQ(unreachable[1], 2u);
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,160 @@
+#include "src/apps/microburst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+#include "src/workload/generators.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+TEST(QueueProbeProgram, MatchesPaperShape) {
+  const auto p = makeQueueProbeProgram(5);
+  ASSERT_EQ(p.instructions.size(), 2u);
+  EXPECT_EQ(p.instructions[0].op, core::Opcode::Push);
+  EXPECT_EQ(p.instructions[1].op, core::Opcode::Push);
+  EXPECT_EQ(p.instructions[1].addr, core::addr::QueueBytes);
+  EXPECT_EQ(p.pmemWords, 10);  // 2 words x 5 hops preallocated (§2.1)
+}
+
+TEST(DetectBursts, FindsExcursions) {
+  sim::TimeSeries s;
+  // Flat, spike, flat, spike.
+  const double vals[] = {0, 0, 100, 200, 150, 0, 0, 300, 0};
+  for (int i = 0; i < 9; ++i) {
+    s.add(sim::Time::us(100 * i), vals[i]);
+  }
+  const auto bursts = detectBursts(s, 100.0);
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0].start, sim::Time::us(200));
+  EXPECT_DOUBLE_EQ(bursts[0].peakBytes, 200.0);
+  EXPECT_DOUBLE_EQ(bursts[1].peakBytes, 300.0);
+}
+
+TEST(DetectBursts, OpenBurstAtEndIsReported) {
+  sim::TimeSeries s;
+  s.add(sim::Time::us(0), 0);
+  s.add(sim::Time::us(1), 500);
+  const auto bursts = detectBursts(s, 100.0);
+  ASSERT_EQ(bursts.size(), 1u);
+}
+
+TEST(DetectBursts, EmptyAndQuietSeries) {
+  sim::TimeSeries s;
+  EXPECT_TRUE(detectBursts(s, 10).empty());
+  s.add(sim::Time::us(1), 5);
+  EXPECT_TRUE(detectBursts(s, 10).empty());
+}
+
+TEST(DetectionRecall, OverlapCounts) {
+  std::vector<Burst> ref{{sim::Time::ms(1), sim::Time::ms(2), 10},
+                         {sim::Time::ms(5), sim::Time::ms(6), 10}};
+  std::vector<Burst> obs{{sim::Time::ms(1), sim::Time::ms(3), 8}};
+  EXPECT_DOUBLE_EQ(detectionRecall(ref, obs), 0.5);
+  EXPECT_DOUBLE_EQ(detectionRecall(ref, ref), 1.0);
+  EXPECT_DOUBLE_EQ(detectionRecall({}, obs), 1.0);
+  EXPECT_DOUBLE_EQ(detectionRecall(ref, {}), 0.0);
+}
+
+struct MicroburstFixture : public ::testing::Test {
+  Testbed tb;
+  static constexpr std::size_t kSenders = 4;
+
+  void SetUp() override {
+    asic::SwitchConfig cfg;
+    cfg.bufferPerQueueBytes = 256 * 1024;
+    buildStar(tb, kSenders, host::LinkParams{1'000'000'000, sim::Time::us(2)},
+              cfg);
+  }
+  host::Host& receiver() { return tb.host(kSenders); }
+
+  workload::IncastBurst makeIncast(sim::Time period) {
+    workload::IncastBurst::Config cfg;
+    cfg.dstMac = receiver().mac();
+    cfg.dstIp = receiver().ip();
+    cfg.burstBytes = 60'000;
+    cfg.period = period;
+    std::vector<host::Host*> senders;
+    for (std::size_t i = 0; i < kSenders; ++i) senders.push_back(&tb.host(i));
+    return workload::IncastBurst(senders, cfg);
+  }
+};
+
+TEST_F(MicroburstFixture, MonitorSeesQueueExcursions) {
+  auto incast = makeIncast(sim::Time::ms(5));
+  incast.start(sim::Time::ms(1));
+
+  // Probe from an otherwise-idle sender toward the incast receiver: the
+  // probe shares the congested egress port.
+  MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = receiver().mac();
+  mcfg.dstIp = receiver().ip();
+  mcfg.interval = sim::Time::us(100);
+  MicroburstMonitor monitor(tb.host(0), mcfg);
+  monitor.start(sim::Time::zero());
+
+  tb.sim().run(sim::Time::ms(50));
+  monitor.stop();
+  incast.stop();
+  tb.sim().run();
+
+  ASSERT_EQ(monitor.hopsObserved(), 1u);
+  EXPECT_EQ(monitor.hopSwitchId(0), tb.sw(0).config().switchId);
+  EXPECT_GT(monitor.resultsReceived(), 100u);
+  const auto bursts = detectBursts(monitor.hopSeries(0), 50'000.0);
+  EXPECT_GE(bursts.size(), 5u);  // one per incast round
+}
+
+TEST_F(MicroburstFixture, CoarsePollingMissesWhatProbesCatch) {
+  auto incast = makeIncast(sim::Time::ms(10));
+  incast.start(sim::Time::ms(1));
+
+  MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = receiver().mac();
+  mcfg.dstIp = receiver().ip();
+  mcfg.interval = sim::Time::us(100);
+  MicroburstMonitor monitor(tb.host(0), mcfg);
+  monitor.start(sim::Time::zero());
+
+  // "Today's monitoring mechanisms operate on timescales of 10s of
+  // seconds at best" — here even a generous 25 ms poller fails.
+  ControlPlanePoller poller(tb.sw(0), /*port=*/kSenders, /*queue=*/0,
+                            sim::Time::ms(25));
+  poller.start(sim::Time::zero());
+  // Ground truth at 10 us resolution.
+  ControlPlanePoller truth(tb.sw(0), kSenders, 0, sim::Time::us(10));
+  truth.start(sim::Time::zero());
+
+  tb.sim().run(sim::Time::ms(100));
+  monitor.stop();
+  incast.stop();
+  poller.stop();
+  truth.stop();
+  tb.sim().run();
+
+  const double threshold = 50'000.0;
+  const auto reference = detectBursts(truth.series(), threshold);
+  ASSERT_GE(reference.size(), 5u);
+  const auto viaTpp = detectBursts(monitor.hopSeries(0), threshold);
+  const auto viaPolling = detectBursts(poller.series(), threshold);
+  EXPECT_GE(detectionRecall(reference, viaTpp), 0.8);
+  EXPECT_LE(detectionRecall(reference, viaPolling), 0.5);
+}
+
+TEST_F(MicroburstFixture, QuietNetworkShowsNoBursts) {
+  MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = receiver().mac();
+  mcfg.dstIp = receiver().ip();
+  mcfg.interval = sim::Time::us(200);
+  MicroburstMonitor monitor(tb.host(0), mcfg);
+  monitor.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(20));
+  monitor.stop();
+  tb.sim().run();
+  EXPECT_TRUE(detectBursts(monitor.hopSeries(0), 10'000.0).empty());
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,201 @@
+#include "src/apps/ndb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+TEST(TraceProgram, MatchesPaperSection23) {
+  const auto p = makeTraceProgram(5);
+  ASSERT_EQ(p.instructions.size(), 3u);
+  EXPECT_EQ(p.instructions[0].addr, core::addr::SwitchId);
+  EXPECT_EQ(p.instructions[1].addr, core::addr::MatchedEntryId);
+  EXPECT_EQ(p.instructions[2].addr, core::addr::InputPort);
+  EXPECT_EQ(p.pmemWords, 15);
+}
+
+TEST(HopTraceFields, UnpacksVersionAndIndex) {
+  HopTrace h;
+  h.matchedEntryId = asic::packEntryId(0x0042, 0x0007);
+  EXPECT_EQ(h.entryIndex(), 0x0042);
+  EXPECT_EQ(h.entryVersion(), 0x0007);
+}
+
+TEST(IntentStore, EmptyDivergenceOnExactMatch) {
+  IntentStore intent;
+  intent.setExpectedPath({{1, 100}, {2, 200}});
+  PacketTrace trace;
+  trace.hops = {{1, 100, 0}, {2, 200, 1}};
+  EXPECT_TRUE(intent.check(trace).empty());
+}
+
+TEST(IntentStore, WildcardEntryAcceptsAnything) {
+  IntentStore intent;
+  intent.setExpectedPath({{1, 0}});
+  PacketTrace trace;
+  trace.hops = {{1, 0xdeadbeef, 3}};
+  EXPECT_TRUE(intent.check(trace).empty());
+}
+
+TEST(IntentStore, DetectsWrongSwitch) {
+  IntentStore intent;
+  intent.setExpectedPath({{1, 100}, {2, 200}});
+  PacketTrace trace;
+  trace.hops = {{1, 100, 0}, {9, 200, 1}};
+  const auto d = intent.check(trace);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::WrongSwitch);
+  EXPECT_EQ(d[0].hop, 1u);
+  EXPECT_EQ(d[0].observed, 9u);
+}
+
+TEST(IntentStore, DetectsStaleVersionVsWrongEntry) {
+  IntentStore intent;
+  intent.setExpectedPath({{1, asic::packEntryId(5, 2)}});
+  PacketTrace stale;
+  stale.hops = {{1, asic::packEntryId(5, 1), 0}};  // old version, same entry
+  auto d = intent.check(stale);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::StaleVersion);
+
+  PacketTrace wrong;
+  wrong.hops = {{1, asic::packEntryId(6, 2), 0}};  // different entry
+  d = intent.check(wrong);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::WrongEntry);
+}
+
+TEST(IntentStore, DetectsPathLengthMismatch) {
+  IntentStore intent;
+  intent.setExpectedPath({{1, 0}, {2, 0}});
+  PacketTrace trace;
+  trace.hops = {{1, 0, 0}};
+  const auto d = intent.check(trace);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::PathLengthMismatch);
+}
+
+TEST(DivergenceNames, Distinct) {
+  EXPECT_EQ(divergenceKindName(IntentStore::DivergenceKind::WrongSwitch),
+            "wrong-switch");
+  EXPECT_EQ(divergenceKindName(IntentStore::DivergenceKind::StaleVersion),
+            "stale-version");
+}
+
+TEST(OverheadModels, TppBeatsCopiesOnEveryPathLength) {
+  NdbCopyOverheadModel copies;
+  for (std::size_t hops = 1; hops <= 7; ++hops) {
+    EXPECT_LT(tppTraceBytesPerPacket(hops), copies.bytesPerPacket(hops))
+        << hops << " hops";
+  }
+}
+
+// ------------------------- end-to-end tracing on a simulated network
+
+struct NdbFixture : public ::testing::Test {
+  Testbed tb;
+  // One collector for the fixture's lifetime: handlers registered on a
+  // host cannot be unregistered, so the collector must outlive the test.
+  std::unique_ptr<TraceCollector> collector;
+
+  void SetUp() override {
+    buildChain(tb, 3, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+    collector = std::make_unique<TraceCollector>(tb.host(1));
+  }
+
+  PacketTrace traceOnce() {
+    const auto before = collector->count();
+    tb.host(0).sendUdpWithTpp(tb.host(1).mac(), tb.host(1).ip(), 5000, 5000,
+                              {}, makeTraceProgram());
+    tb.sim().run();
+    EXPECT_EQ(collector->count(), before + 1);
+    return collector->traces().back();
+  }
+
+  // Builds the control-plane intent from the switches' current L3 state.
+  IntentStore currentIntent() {
+    IntentStore intent;
+    std::vector<IntentStore::ExpectedHop> path;
+    for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+      const auto match = tb.sw(s).l3().match(tb.host(1).ip());
+      path.push_back({tb.sw(s).config().switchId, match->entryId});
+    }
+    intent.setExpectedPath(path);
+    return intent;
+  }
+};
+
+TEST_F(NdbFixture, TraceRecordsEveryHop) {
+  const auto trace = traceOnce();
+  ASSERT_EQ(trace.hops.size(), 3u);
+  EXPECT_FALSE(trace.faulted);
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(trace.hops[h].switchId, tb.sw(h).config().switchId);
+    EXPECT_EQ(trace.hops[h].inputPort, 0u);
+  }
+}
+
+TEST_F(NdbFixture, CleanNetworkMatchesIntent) {
+  const auto intent = currentIntent();
+  const auto trace = traceOnce();
+  EXPECT_TRUE(intent.check(trace).empty());
+}
+
+TEST_F(NdbFixture, SilentRuleChangeIsDetectedAsStale) {
+  const auto intent = currentIntent();
+  // The "hardware" updates a rule behind the control plane's back: re-add
+  // the same /32 with a different port (bumps the entry version).
+  tb.sw(1).l3().add(tb.host(1).ip(), 32, 1);
+  const auto trace = traceOnce();
+  const auto d = intent.check(trace);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::StaleVersion);
+  EXPECT_EQ(d[0].hop, 1u);
+}
+
+TEST_F(NdbFixture, ReRoutingDetectedAsWrongEntry) {
+  const auto intent = currentIntent();
+  // A TCAM rule hijacks the flow at switch 1 (still forwards correctly,
+  // but through a different table entry).
+  asic::TcamKey k;
+  k.ipDst = {tb.host(1).ip(), 32};
+  tb.sw(1).tcam().add(k, asic::TcamAction{1}, 100);
+  const auto trace = traceOnce();
+  const auto d = intent.check(trace);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::WrongEntry);
+}
+
+
+TEST_F(NdbFixture, GoldenTraceSnapshotsIntent) {
+  // Operators snapshot intent from a known-good trace instead of mirroring
+  // switch tables.
+  const auto golden = traceOnce();
+  const auto intent = IntentStore::fromGoldenTrace(golden);
+  EXPECT_TRUE(intent.check(traceOnce()).empty());
+  // Drift after the snapshot is detected against the golden record.
+  tb.sw(1).l3().add(tb.host(1).ip(), 32, 1);
+  const auto d = intent.check(traceOnce());
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].kind, IntentStore::DivergenceKind::StaleVersion);
+}
+
+TEST_F(NdbFixture, CollectorAccumulatesPerPacketTraces) {
+  for (int i = 0; i < 5; ++i) {
+    tb.host(0).sendUdpWithTpp(tb.host(1).mac(), tb.host(1).ip(), 5000, 5000,
+                              {}, makeTraceProgram());
+  }
+  tb.sim().run();
+  EXPECT_EQ(collector->count(), 5u);
+  collector->clear();
+  EXPECT_EQ(collector->count(), 0u);
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,173 @@
+#include "src/apps/rcpstar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp::apps {
+namespace {
+
+using host::Testbed;
+
+constexpr std::uint64_t kBottleneck = 10'000'000;
+
+TEST(RcpPrograms, CollectMatchesPaperPhase1) {
+  const auto p = makeRcpCollectProgram(6);
+  ASSERT_EQ(p.instructions.size(), 5u);
+  for (const auto& ins : p.instructions) {
+    EXPECT_EQ(ins.op, core::Opcode::Push);
+  }
+  EXPECT_EQ(p.instructions[0].addr, core::addr::SwitchId);
+  EXPECT_EQ(p.instructions[4].addr, core::addr::RcpRateRegister);
+  EXPECT_EQ(p.pmemWords, 30);
+}
+
+TEST(RcpPrograms, UpdateIsCexecGuardedStore) {
+  const auto p = makeRcpUpdateProgram(/*switchId=*/2, /*rateKbps=*/5000);
+  ASSERT_EQ(p.instructions.size(), 2u);
+  EXPECT_EQ(p.instructions[0].op, core::Opcode::Cexec);
+  EXPECT_EQ(p.instructions[0].addr, core::addr::SwitchId);
+  EXPECT_EQ(p.initialPmem[0], 0xffffffffu);
+  EXPECT_EQ(p.initialPmem[1], 2u);
+  EXPECT_EQ(p.instructions[1].op, core::Opcode::Store);
+  EXPECT_EQ(p.instructions[1].addr, core::addr::RcpRateRegister);
+  EXPECT_EQ(p.initialPmem[p.instructions[1].pmemOff], 5000u);
+}
+
+struct RcpStarFixture : public ::testing::Test {
+  Testbed tb;
+  struct ControlledFlow {
+    std::unique_ptr<host::PacedFlow> flow;
+    std::unique_ptr<RcpStarController> controller;
+  };
+  std::vector<std::unique_ptr<ControlledFlow>> flows;
+
+  void SetUp() override {
+    asic::SwitchConfig scfg;
+    scfg.bufferPerQueueBytes = 64 * 1024;
+    scfg.utilizationWindow = sim::Time::ms(50);
+    buildDumbbell(tb, 3, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                  host::LinkParams{kBottleneck, sim::Time::ms(1)}, scfg);
+    // Control-plane initialization (§2.2 footnote): every link's rate
+    // register starts at its capacity.
+    for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+      for (std::size_t port = 0; port < tb.sw(s).config().ports; ++port) {
+        tb.sw(s).scratchWrite(
+            core::addr::RcpRateRegister,
+            static_cast<std::uint32_t>(tb.sw(s).portCapacityBps(port) / 1000),
+            port);
+      }
+    }
+  }
+
+  ControlledFlow& addFlow(std::size_t pair, sim::Time startAt) {
+    auto cf = std::make_unique<ControlledFlow>();
+    host::FlowSpec spec;
+    spec.dstMac = tb.host(3 + pair).mac();
+    spec.dstIp = tb.host(3 + pair).ip();
+    spec.srcPort = static_cast<std::uint16_t>(21000 + pair);
+    spec.dstPort = spec.srcPort;
+    spec.payloadBytes = 1000;
+    spec.rateBps = 100e3;
+    cf->flow = std::make_unique<host::PacedFlow>(tb.host(pair), spec,
+                                                 pair + 1);
+    RcpStarController::Config ccfg;
+    ccfg.params.alpha = 0.5;
+    ccfg.params.beta = 1.0;
+    ccfg.params.rttSeconds = 0.05;
+    ccfg.period = sim::Time::ms(50);
+    ccfg.dstMac = spec.dstMac;
+    ccfg.dstIp = spec.dstIp;
+    cf->controller = std::make_unique<RcpStarController>(tb.host(pair),
+                                                         *cf->flow, ccfg);
+    cf->flow->start(startAt);
+    cf->controller->start(startAt);
+    flows.push_back(std::move(cf));
+    return *flows.back();
+  }
+
+  double registerRateBps() {
+    return static_cast<double>(
+               *tb.sw(0).scratchRead(core::addr::RcpRateRegister, 3)) *
+           1000.0;
+  }
+};
+
+TEST_F(RcpStarFixture, SingleFlowClimbsToCapacity) {
+  auto& cf = addFlow(0, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(5));
+  EXPECT_NEAR(cf.controller->currentRateBps(),
+              static_cast<double>(kBottleneck),
+              0.25 * static_cast<double>(kBottleneck));
+  EXPECT_GT(cf.controller->updatesSent(), 50u);
+  cf.flow->stop();
+  cf.controller->stop();
+}
+
+TEST_F(RcpStarFixture, IdentifiesBottleneckSwitch) {
+  auto& cf = addFlow(0, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(2));
+  // The 10 Mb/s link is the left switch's egress (switch id 1).
+  EXPECT_EQ(cf.controller->bottleneckSwitchId(),
+            tb.sw(0).config().switchId);
+  ASSERT_EQ(cf.controller->linkRatesBps().size(), 2u);
+  EXPECT_LT(cf.controller->linkRatesBps()[0],
+            cf.controller->linkRatesBps()[1]);
+  cf.flow->stop();
+  cf.controller->stop();
+}
+
+TEST_F(RcpStarFixture, EndHostWritesReachTheRegister) {
+  // With two flows the fair share is C/2 — distinguishable from the
+  // control-plane initialization value C, so a changed register proves the
+  // end-hosts' CEXEC-guarded STOREs landed in the ASIC.
+  auto& f1 = addFlow(0, sim::Time::zero());
+  auto& f2 = addFlow(1, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(6));
+  EXPECT_LT(registerRateBps(), 0.85 * static_cast<double>(kBottleneck));
+  EXPECT_NEAR(registerRateBps(), kBottleneck / 2.0, 0.3 * kBottleneck);
+  for (auto* cf : {&f1, &f2}) {
+    cf->flow->stop();
+    cf->controller->stop();
+  }
+}
+
+TEST_F(RcpStarFixture, TwoFlowsConvergeToFairShare) {
+  addFlow(0, sim::Time::zero());
+  addFlow(1, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(8));
+  for (auto& cf : flows) {
+    EXPECT_NEAR(cf->controller->currentRateBps(), kBottleneck / 2.0,
+                0.3 * kBottleneck);
+    cf->flow->stop();
+    cf->controller->stop();
+  }
+}
+
+TEST_F(RcpStarFixture, LateFlowForcesReconvergence) {
+  auto& first = addFlow(0, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(4));
+  const double alone = first.controller->currentRateBps();
+  addFlow(1, tb.sim().now());
+  tb.sim().run(sim::Time::sec(12));
+  const double shared = first.controller->currentRateBps();
+  EXPECT_LT(shared, 0.8 * alone);
+  for (auto& cf : flows) {
+    cf->flow->stop();
+    cf->controller->stop();
+  }
+}
+
+TEST_F(RcpStarFixture, RateSeriesIsRecorded) {
+  auto& cf = addFlow(0, sim::Time::zero());
+  tb.sim().run(sim::Time::sec(1));
+  EXPECT_GE(cf.controller->rateSeries().size(), 15u);  // one per period
+  cf.flow->stop();
+  cf.controller->stop();
+}
+
+}  // namespace
+}  // namespace tpp::apps

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/byte_io.hpp"
+#include "src/net/ethernet.hpp"
+#include "src/net/ipv4.hpp"
+#include "src/net/mac_address.hpp"
+
+namespace tpp::net {
+namespace {
+
+TEST(ByteIo, Be16RoundTrip) {
+  std::vector<std::uint8_t> buf(4, 0);
+  putBe16(buf, 1, 0xBEEF);
+  EXPECT_EQ(buf[1], 0xBE);
+  EXPECT_EQ(buf[2], 0xEF);
+  EXPECT_EQ(getBe16(buf, 1), 0xBEEF);
+}
+
+TEST(ByteIo, Be32RoundTrip) {
+  std::vector<std::uint8_t> buf(8, 0);
+  putBe32(buf, 2, 0xDEADBEEF);
+  EXPECT_EQ(getBe32(buf, 2), 0xDEADBEEFu);
+  EXPECT_EQ(buf[2], 0xDE);
+  EXPECT_EQ(buf[5], 0xEF);
+}
+
+TEST(ByteIo, Be64RoundTrip) {
+  std::vector<std::uint8_t> buf(8, 0);
+  putBe64(buf, 0, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(getBe64(buf, 0), 0x0123456789ABCDEFULL);
+}
+
+TEST(ByteIo, TruncatedReadsReturnNullopt) {
+  std::vector<std::uint8_t> buf(3, 0);
+  EXPECT_FALSE(getBe16(buf, 2).has_value());
+  EXPECT_FALSE(getBe32(buf, 0).has_value());
+  EXPECT_FALSE(getBe64(buf, 0).has_value());
+  EXPECT_TRUE(getBe16(buf, 1).has_value());
+}
+
+class ByteIoValues : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ByteIoValues, Be32Identity) {
+  std::vector<std::uint8_t> buf(4, 0);
+  putBe32(buf, 0, GetParam());
+  EXPECT_EQ(getBe32(buf, 0), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, ByteIoValues,
+                         ::testing::Values(0u, 1u, 0x7fffffffu, 0x80000000u,
+                                           0xffffffffu, 0x00ff00ffu));
+
+TEST(MacAddress, FromIndexIsLocalAndUnique) {
+  const auto a = MacAddress::fromIndex(1);
+  const auto b = MacAddress::fromIndex(2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.isMulticast());
+  EXPECT_EQ(a.bytes()[0], 0x02);  // locally administered
+}
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto m = MacAddress::parse("02:00:00:00:00:2a");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->toString(), "02:00:00:00:00:2a");
+  EXPECT_EQ(m->toU64(), 0x02000000002aULL);
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddress::parse(""));
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:00"));
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:00:zz"));
+  EXPECT_FALSE(MacAddress::parse("02:00:00:00:00:2a:ff"));
+  EXPECT_FALSE(MacAddress::parse("0200:00:00:00:2a"));
+}
+
+TEST(MacAddress, BroadcastProperties) {
+  EXPECT_TRUE(MacAddress::broadcast().isBroadcast());
+  EXPECT_TRUE(MacAddress::broadcast().isMulticast());
+  EXPECT_FALSE(MacAddress::fromIndex(5).isBroadcast());
+}
+
+TEST(Ethernet, HeaderRoundTrip) {
+  std::vector<std::uint8_t> buf(kEthernetHeaderSize, 0);
+  EthernetHeader h{MacAddress::fromIndex(1), MacAddress::fromIndex(2),
+                   kEtherTypeTpp};
+  h.write(buf);
+  const auto parsed = EthernetHeader::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->etherType, kEtherTypeTpp);
+}
+
+TEST(Ethernet, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(13, 0);
+  EXPECT_FALSE(EthernetHeader::parse(buf));
+}
+
+TEST(Ipv4Address, FormatsDottedQuad) {
+  EXPECT_EQ(Ipv4Address::fromOctets(10, 0, 0, 7).toString(), "10.0.0.7");
+  EXPECT_EQ(Ipv4Address::forHost(300).toString(), "10.0.1.44");
+}
+
+TEST(Ipv4, HeaderRoundTripWithChecksum) {
+  std::vector<std::uint8_t> buf(kIpv4HeaderSize, 0);
+  Ipv4Header h;
+  h.totalLength = 123;
+  h.identification = 7;
+  h.ttl = 63;
+  h.src = Ipv4Address::forHost(1);
+  h.dst = Ipv4Address::forHost(2);
+  h.write(buf);
+  const auto parsed = Ipv4Header::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->totalLength, 123);
+  EXPECT_EQ(parsed->identification, 7);
+  EXPECT_EQ(parsed->ttl, 63);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4, CorruptionFailsChecksum) {
+  std::vector<std::uint8_t> buf(kIpv4HeaderSize, 0);
+  Ipv4Header h;
+  h.totalLength = 40;
+  h.src = Ipv4Address::forHost(1);
+  h.dst = Ipv4Address::forHost(2);
+  h.write(buf);
+  buf[16] ^= 0x01;  // flip one dst bit
+  EXPECT_FALSE(Ipv4Header::parse(buf));
+}
+
+TEST(Ipv4, ChecksumOfHeaderWithChecksumIsZero) {
+  std::vector<std::uint8_t> buf(kIpv4HeaderSize, 0);
+  Ipv4Header h;
+  h.totalLength = 20;
+  h.write(buf);
+  EXPECT_EQ(internetChecksum(buf), 0);
+}
+
+TEST(Udp, HeaderRoundTrip) {
+  std::vector<std::uint8_t> buf(kUdpHeaderSize, 0);
+  UdpHeader u{1234, 5678, 100};
+  u.write(buf);
+  const auto parsed = UdpHeader::parse(buf);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->srcPort, 1234);
+  EXPECT_EQ(parsed->dstPort, 5678);
+  EXPECT_EQ(parsed->length, 100);
+}
+
+TEST(Udp, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(7, 0);
+  EXPECT_FALSE(UdpHeader::parse(buf));
+}
+
+}  // namespace
+}  // namespace tpp::net

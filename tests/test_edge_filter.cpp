@@ -1,0 +1,122 @@
+#include "src/core/edge_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/memory_map.hpp"
+#include "src/core/program.hpp"
+#include "src/net/byte_io.hpp"
+#include "src/net/ethernet.hpp"
+
+namespace tpp::core {
+namespace {
+
+net::PacketPtr plainFrame() {
+  auto p = net::Packet::make(80);
+  net::EthernetHeader eth{net::MacAddress::fromIndex(1),
+                          net::MacAddress::fromIndex(2),
+                          net::kEtherTypeIpv4};
+  eth.write(p->span());
+  return p;
+}
+
+net::PacketPtr tppFrame(bool withWrite) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  if (withWrite) b.storeImm(addr::RcpRateRegister, 1);
+  b.reserve(4);
+  return buildTppFrame(net::MacAddress::fromIndex(1),
+                       net::MacAddress::fromIndex(2), *b.build());
+}
+
+using Action = EdgeFilter::Action;
+
+TEST(EdgeFilter, DefaultPolicyIsAllow) {
+  EdgeFilter f;
+  EXPECT_EQ(f.portPolicy(0), EdgePolicy::Allow);
+  EXPECT_EQ(f.portPolicy(99), EdgePolicy::Allow);
+  auto p = tppFrame(true);
+  EXPECT_EQ(f.apply(*p, 0), Action::Forwarded);
+}
+
+TEST(EdgeFilter, NonTppPacketsAlwaysForward) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::Drop);
+  auto p = plainFrame();
+  EXPECT_EQ(f.apply(*p, 0), Action::Forwarded);
+}
+
+TEST(EdgeFilter, DropPolicyDropsTpps) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::Drop);
+  auto p = tppFrame(false);
+  EXPECT_EQ(f.apply(*p, 0), Action::Dropped);
+  EXPECT_EQ(f.dropped(), 1u);
+}
+
+TEST(EdgeFilter, StripPolicyRemovesShimAndForwardsInner) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::Strip);
+  auto p = tppFrame(false);
+  const std::size_t before = p->size();
+  EXPECT_EQ(f.apply(*p, 0), Action::Stripped);
+  EXPECT_LT(p->size(), before);
+  const auto eth = net::EthernetHeader::parse(p->span());
+  EXPECT_NE(eth->etherType, net::kEtherTypeTpp);
+  EXPECT_EQ(f.stripped(), 1u);
+}
+
+TEST(EdgeFilter, ReadOnlyPolicyAllowsReadPrograms) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::ReadOnly);
+  auto p = tppFrame(false);
+  EXPECT_EQ(f.apply(*p, 0), Action::Forwarded);
+}
+
+TEST(EdgeFilter, ReadOnlyPolicyStripsWritePrograms) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::ReadOnly);
+  auto p = tppFrame(true);
+  EXPECT_EQ(f.apply(*p, 0), Action::Stripped);
+}
+
+TEST(EdgeFilter, PoliciesArePerPort) {
+  EdgeFilter f;
+  f.setPortPolicy(1, EdgePolicy::Drop);
+  auto p1 = tppFrame(false);
+  auto p2 = tppFrame(false);
+  EXPECT_EQ(f.apply(*p1, 0), Action::Forwarded);  // port 0 trusted
+  EXPECT_EQ(f.apply(*p2, 1), Action::Dropped);
+}
+
+TEST(EdgeFilter, MalformedTppDroppedOnUntrustedPort) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::Strip);
+  // Ethertype says TPP but the header lengths overrun the buffer.
+  auto p = net::Packet::make(net::kEthernetHeaderSize + 4);
+  net::putBe16(p->span(), 12, net::kEtherTypeTpp);
+  EXPECT_EQ(f.apply(*p, 0), Action::Dropped);
+}
+
+TEST(EdgeFilter, UndecodableInstructionDropped) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::ReadOnly);
+  auto p = tppFrame(false);
+  // Corrupt the opcode byte of instruction 0.
+  p->bytes()[net::kEthernetHeaderSize + kTppHeaderSize] = 0xee;
+  EXPECT_EQ(f.apply(*p, 0), Action::Dropped);
+}
+
+TEST(EdgeFilter, PopCountsAsWrite) {
+  EdgeFilter f;
+  f.setPortPolicy(0, EdgePolicy::ReadOnly);
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.pop(kSramBase);
+  b.reserve(2);
+  auto p = buildTppFrame(net::MacAddress::fromIndex(1),
+                         net::MacAddress::fromIndex(2), *b.build());
+  EXPECT_EQ(f.apply(*p, 0), Action::Stripped);
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,107 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpp::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(Time::ms(3), [&] { order.push_back(3); });
+  q.push(Time::ms(1), [&] { order.push_back(1); });
+  q.push(Time::ms(2), [&] { order.push_back(2); });
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.push(Time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (auto f = q.tryPop()) f->fn();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ReportsFiredTime) {
+  EventQueue q;
+  q.push(Time::us(42), [] {});
+  auto f = q.tryPop();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f->at, Time::us(42));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  q.push(Time::ms(2), [] {});
+  h.cancel();
+  EXPECT_EQ(q.nextTime(), Time::ms(2));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.push(Time::ms(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, EmptyAfterAllCancelled) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(q.push(Time::ms(i), [] {}));
+  for (auto& h : handles) h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(EventQueue, HandleOutlivesExecution) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  ASSERT_TRUE(q.tryPop());
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // after firing: no-op
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(Time::ms(1), [&] { order.push_back(1); });
+  auto f1 = q.tryPop();
+  f1->fn();
+  q.push(Time::ms(3), [&] { order.push_back(3); });
+  q.push(Time::ms(2), [&] { order.push_back(2); });
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tpp::sim

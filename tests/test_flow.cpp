@@ -1,0 +1,125 @@
+#include "src/host/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+#include "src/net/byte_io.hpp"
+
+namespace tpp::host {
+namespace {
+
+struct FlowFixture : public ::testing::Test {
+  Testbed tb;
+  void SetUp() override {
+    buildChain(tb, 1, LinkParams{1'000'000'000, sim::Time::us(1)});
+  }
+  FlowSpec specTo(Host& dst, double rateBps) {
+    FlowSpec s;
+    s.dstMac = dst.mac();
+    s.dstIp = dst.ip();
+    s.rateBps = rateBps;
+    s.payloadBytes = 1000;
+    return s;
+  }
+};
+
+TEST_F(FlowFixture, AchievesConfiguredRate) {
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 100e6), 1);
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(100));
+  flow.stop();
+  // 100 Mb/s for 100 ms = 1.25 MB of wire bytes; payload fraction is
+  // 1000/1066 of that.
+  const double expected = 100e6 * 0.1 / 8.0 * (1000.0 / 1066.0);
+  EXPECT_NEAR(static_cast<double>(flow.bytesSent()), expected,
+              expected * 0.02);
+}
+
+TEST_F(FlowFixture, StopsAfterTotalBytes) {
+  auto spec = specTo(tb.host(1), 1e9);
+  spec.totalBytes = 10'000;
+  PacedFlow flow(tb.host(0), spec, 1);
+  flow.start(sim::Time::zero());
+  tb.sim().run();
+  EXPECT_TRUE(flow.finished());
+  EXPECT_EQ(flow.bytesSent(), 10'000u);
+  EXPECT_EQ(flow.packetsSent(), 10u);
+}
+
+TEST_F(FlowFixture, RateChangeTakesEffect) {
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 10e6), 1);
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(50));
+  const auto atLow = flow.bytesSent();
+  flow.setRateBps(100e6);
+  tb.sim().run(sim::Time::ms(100));
+  flow.stop();
+  const auto atHigh = flow.bytesSent() - atLow;
+  EXPECT_GT(static_cast<double>(atHigh), 5.0 * static_cast<double>(atLow));
+}
+
+TEST_F(FlowFixture, ZeroRatePausesAndResumes) {
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 10e6), 1);
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(10));
+  flow.setRateBps(0.0);
+  tb.sim().run(sim::Time::ms(60));
+  const auto paused = flow.bytesSent();
+  tb.sim().run(sim::Time::ms(110));
+  EXPECT_LE(flow.bytesSent() - paused, 1000u);  // at most one in-flight emit
+  flow.setRateBps(10e6);
+  tb.sim().run(sim::Time::ms(160));
+  EXPECT_GT(flow.bytesSent(), paused + 10'000u);
+  flow.stop();
+}
+
+TEST_F(FlowFixture, StopCancelsPendingEmission) {
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 10e6), 1);
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(10));
+  flow.stop();
+  const auto sent = flow.bytesSent();
+  tb.sim().run(sim::Time::ms(100));
+  EXPECT_EQ(flow.bytesSent(), sent);
+}
+
+TEST_F(FlowFixture, PayloadCarriesFlowId) {
+  std::uint64_t seen = 0;
+  tb.host(1).bindUdp(20000, [&](const UdpDatagram& d) {
+    std::uint64_t id = 0;
+    for (int i = 0; i < 8; ++i) id = (id << 8) | d.payload[static_cast<std::size_t>(i)];
+    seen = id;
+  });
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 1e6), 0xABCDEF12345678ULL);
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(20));
+  flow.stop();
+  EXPECT_EQ(seen, 0xABCDEF12345678ULL);
+}
+
+TEST_F(FlowFixture, PacketHookDecoratesEveryPacket) {
+  int hooked = 0;
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 10e6), 1);
+  flow.setPacketHook([&](net::Packet& p) {
+    ++hooked;
+    EXPECT_GT(p.size(), 0u);
+  });
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(10));
+  flow.stop();
+  EXPECT_EQ(hooked, static_cast<int>(flow.packetsSent()));
+  EXPECT_GT(hooked, 0);
+}
+
+TEST_F(FlowFixture, StartIsIdempotent) {
+  PacedFlow flow(tb.host(0), specTo(tb.host(1), 10e6), 1);
+  flow.start(sim::Time::zero());
+  flow.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(10));
+  flow.stop();
+  // One pacing loop, not two: ~12 packets at 10 Mb/s in 10 ms.
+  EXPECT_LE(flow.packetsSent(), 14u);
+}
+
+}  // namespace
+}  // namespace tpp::host

@@ -1,0 +1,156 @@
+#include "src/core/header.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/program.hpp"
+#include "src/net/byte_io.hpp"
+#include "src/net/ethernet.hpp"
+
+namespace tpp::core {
+namespace {
+
+TppHeader sampleHeader() {
+  TppHeader h;
+  h.instrWords = 3;
+  h.pmemWords = 8;
+  h.mode = AddressingMode::Hop;
+  h.flags = 0;
+  h.hopNumber = 2;
+  h.stackPointer = 12;
+  h.perHopWords = 4;
+  h.faultCode = Fault::None;
+  h.innerEtherType = net::kEtherTypeIpv4;
+  h.taskId = 7;
+  return h;
+}
+
+TEST(TppHeader, RoundTrip) {
+  std::vector<std::uint8_t> buf(kTppHeaderSize, 0);
+  const auto h = sampleHeader();
+  h.write(buf);
+  const auto p = TppHeader::parse(buf);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->instrWords, 3);
+  EXPECT_EQ(p->pmemWords, 8);
+  EXPECT_EQ(p->mode, AddressingMode::Hop);
+  EXPECT_EQ(p->hopNumber, 2);
+  EXPECT_EQ(p->stackPointer, 12);
+  EXPECT_EQ(p->perHopWords, 4);
+  EXPECT_EQ(p->faultCode, Fault::None);
+  EXPECT_EQ(p->innerEtherType, net::kEtherTypeIpv4);
+  EXPECT_EQ(p->taskId, 7);
+}
+
+TEST(TppHeader, ParseRejectsShortBuffer) {
+  std::vector<std::uint8_t> buf(kTppHeaderSize - 1, 0);
+  EXPECT_FALSE(TppHeader::parse(buf));
+}
+
+TEST(TppHeader, HeaderIsTwelveBytes) {
+  // Fig 4 allots "up to 20 bytes" for the TPP header fields; ours fits in
+  // 12, leaving the instruction budget untouched.
+  static_assert(kTppHeaderSize == 12);
+}
+
+net::PacketPtr makeTppPacket(const Program& program) {
+  return buildTppFrame(net::MacAddress::fromIndex(2),
+                       net::MacAddress::fromIndex(1), program);
+}
+
+Program pushProgram() {
+  ProgramBuilder b;
+  b.push(0xb000);
+  b.reserve(6);
+  return *b.build();
+}
+
+TEST(TppView, RejectsTruncatedDeclaredLengths) {
+  auto packet = net::Packet::make(net::kEthernetHeaderSize + kTppHeaderSize);
+  // Declare 10 instruction words that do not exist.
+  packet->bytes()[net::kEthernetHeaderSize] = 10;
+  EXPECT_FALSE(TppView::at(*packet, net::kEthernetHeaderSize));
+}
+
+TEST(TppView, RejectsMissingHeader) {
+  auto packet = net::Packet::make(10);
+  EXPECT_FALSE(TppView::at(*packet, 4));
+}
+
+TEST(TppView, FieldAccessorsReadWire) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->instrWords(), 1);
+  EXPECT_EQ(view->pmemWords(), 6);
+  EXPECT_EQ(view->mode(), AddressingMode::Stack);
+  EXPECT_EQ(view->hopNumber(), 0);
+  EXPECT_EQ(view->stackPointer(), 0);
+}
+
+TEST(TppView, MutationsCommitInPlace) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  view->setHopNumber(3);
+  view->setStackPointer(8);
+  // Re-view from raw bytes: changes must be on the wire.
+  auto view2 = TppView::at(*packet, net::kEthernetHeaderSize);
+  EXPECT_EQ(view2->hopNumber(), 3);
+  EXPECT_EQ(view2->stackPointer(), 8);
+}
+
+TEST(TppView, PmemBoundsChecked) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  EXPECT_TRUE(view->setPmemWord(5, 0x12345678));
+  EXPECT_EQ(view->pmemWord(5), 0x12345678u);
+  EXPECT_FALSE(view->setPmemWord(6, 1));
+  EXPECT_FALSE(view->pmemWord(6).has_value());
+}
+
+TEST(TppView, FirstFaultWins) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  view->setFault(Fault::UnmappedAddress);
+  view->setFault(Fault::ReadOnlyViolation);
+  EXPECT_EQ(view->faultCode(), Fault::UnmappedAddress);
+  EXPECT_TRUE(view->flags() & kFlagFaulted);
+}
+
+TEST(TppView, FlagsAccumulate) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  view->setFlag(kFlagCexecSkipped);
+  view->setFault(Fault::GrantViolation);
+  EXPECT_TRUE(view->flags() & kFlagCexecSkipped);
+  EXPECT_TRUE(view->flags() & kFlagFaulted);
+}
+
+TEST(TppView, InstructionWordsReadBack) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  const auto decoded = Instruction::decode(view->instructionWord(0));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->op, Opcode::Push);
+  EXPECT_EQ(decoded->addr, 0xb000);
+}
+
+TEST(TppView, PayloadOffsetSkipsWholeTpp) {
+  auto packet = makeTppPacket(pushProgram());
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  EXPECT_EQ(view->payloadOffset(),
+            net::kEthernetHeaderSize + kTppHeaderSize + 4 + 6 * 4);
+  EXPECT_EQ(view->tppSizeBytes(), kTppHeaderSize + 4 + 6 * 4);
+}
+
+TEST(FaultNames, AllDistinct) {
+  EXPECT_EQ(faultName(Fault::None), "none");
+  EXPECT_EQ(faultName(Fault::PmemOutOfBounds), "pmem-out-of-bounds");
+  EXPECT_EQ(faultName(Fault::UnmappedAddress), "unmapped-address");
+  EXPECT_EQ(faultName(Fault::ReadOnlyViolation), "read-only-violation");
+  EXPECT_EQ(faultName(Fault::GrantViolation), "grant-violation");
+  EXPECT_EQ(faultName(Fault::BadInstruction), "bad-instruction");
+  EXPECT_EQ(faultName(Fault::HopOverflow), "hop-overflow");
+}
+
+}  // namespace
+}  // namespace tpp::core

@@ -1,0 +1,125 @@
+#include "src/host/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp::host {
+namespace {
+
+struct TwoHosts : public ::testing::Test {
+  Testbed tb;
+  void SetUp() override {
+    buildChain(tb, 1, LinkParams{1'000'000'000, sim::Time::us(1)});
+  }
+  Host& a() { return tb.host(0); }
+  Host& b() { return tb.host(1); }
+};
+
+TEST_F(TwoHosts, IdentityFromIndex) {
+  EXPECT_EQ(a().mac(), net::MacAddress::fromIndex(1));
+  EXPECT_EQ(a().ip(), net::Ipv4Address::forHost(1));
+  EXPECT_NE(a().mac(), b().mac());
+}
+
+TEST_F(TwoHosts, UdpPayloadRoundTrip) {
+  std::vector<std::uint8_t> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> got;
+  b().bindUdp(7777, [&](const UdpDatagram& d) {
+    got.assign(d.payload.begin(), d.payload.end());
+    EXPECT_EQ(d.srcPort, 1234);
+    EXPECT_EQ(d.dstPort, 7777);
+  });
+  a().sendUdp(b().mac(), b().ip(), 1234, 7777, payload);
+  tb.sim().run();
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(TwoHosts, UnboundPortIsSilentlyDropped) {
+  a().sendUdp(b().mac(), b().ip(), 1, 9999, {});
+  tb.sim().run();
+  EXPECT_EQ(b().packetsReceived(), 1u);  // arrived, no handler
+}
+
+TEST_F(TwoHosts, WrongMacIsIgnored) {
+  int delivered = 0;
+  b().bindUdp(7777, [&](const UdpDatagram&) { ++delivered; });
+  // Correct IP but bogus destination MAC: L3 still routes it, but the host
+  // NIC filter rejects it.
+  a().sendUdp(net::MacAddress::fromIndex(77), b().ip(), 1, 7777, {});
+  tb.sim().run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST_F(TwoHosts, ProbeEchoRoundTrip) {
+  core::ProgramBuilder builder;
+  builder.push(core::addr::SwitchId);
+  builder.reserve(4);
+  std::optional<core::ExecutedTpp> result;
+  a().onTppResult([&](const core::ExecutedTpp& t) { result = t; });
+  a().sendProbe(b().mac(), b().ip(), *builder.build());
+  tb.sim().run();
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->header.hopNumber, 1);
+  EXPECT_EQ(b().probesEchoed(), 1u);
+}
+
+TEST_F(TwoHosts, EchoedResultIsNotReExecuted) {
+  // The echo travels back through the same switch; its contents must be
+  // frozen (it is payload, not a live TPP).
+  core::ProgramBuilder builder;
+  builder.push(core::addr::SwitchId);
+  builder.reserve(4);
+  std::optional<core::ExecutedTpp> result;
+  a().onTppResult([&](const core::ExecutedTpp& t) { result = t; });
+  a().sendProbe(b().mac(), b().ip(), *builder.build());
+  tb.sim().run();
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->header.hopNumber, 1);  // not 2
+  EXPECT_EQ(result->header.stackPointer, 4);
+}
+
+TEST_F(TwoHosts, ShimmedDataPacketDeliversBothWays) {
+  core::ProgramBuilder builder;
+  builder.push(core::addr::SwitchId);
+  builder.reserve(4);
+  std::optional<core::ExecutedTpp> arrived;
+  int delivered = 0;
+  b().onTppArrival([&](const core::ExecutedTpp& t) { arrived = t; });
+  b().bindUdp(4242, [&](const UdpDatagram& d) {
+    ++delivered;
+    EXPECT_EQ(d.payload.size(), 3u);
+  });
+  const std::vector<std::uint8_t> payload{7, 8, 9};
+  a().sendUdpWithTpp(b().mac(), b().ip(), 4242, 4242, payload, *builder.build());
+  tb.sim().run();
+  ASSERT_TRUE(arrived);
+  EXPECT_EQ(arrived->header.hopNumber, 1);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(TwoHosts, CountersTrackTraffic) {
+  a().sendUdp(b().mac(), b().ip(), 1, 2, {});
+  a().sendUdp(b().mac(), b().ip(), 1, 2, {});
+  tb.sim().run();
+  EXPECT_EQ(a().packetsSent(), 2u);
+  EXPECT_EQ(b().packetsReceived(), 2u);
+  EXPECT_GE(b().bytesReceived(), 2 * net::kMinFrameSize);
+}
+
+TEST_F(TwoHosts, RebindReplacesHandler) {
+  int first = 0, second = 0;
+  b().bindUdp(5, [&](const UdpDatagram&) { ++first; });
+  b().bindUdp(5, [&](const UdpDatagram&) { ++second; });
+  a().sendUdp(b().mac(), b().ip(), 1, 5, {});
+  tb.sim().run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace tpp::host

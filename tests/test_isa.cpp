@@ -1,0 +1,82 @@
+#include "src/core/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::core {
+namespace {
+
+TEST(Isa, EncodeLayout) {
+  const Instruction i{Opcode::Load, 0xb000, 0x07};
+  EXPECT_EQ(i.encode(), 0x01b00007u);
+}
+
+TEST(Isa, DecodeLayout) {
+  const auto i = Instruction::decode(0x02a00105u);
+  ASSERT_TRUE(i);
+  EXPECT_EQ(i->op, Opcode::Store);
+  EXPECT_EQ(i->addr, 0xa001);
+  EXPECT_EQ(i->pmemOff, 0x05);
+}
+
+TEST(Isa, DecodeRejectsUnknownOpcode) {
+  EXPECT_FALSE(Instruction::decode(0xff000000u));
+  EXPECT_FALSE(Instruction::decode(0x0b000000u));  // one past Max
+}
+
+TEST(Isa, FourByteEncoding) {
+  // §3.3: "we were able to encode an instruction and its operands in a
+  // 4-byte integer."
+  static_assert(sizeof(Instruction{}.encode()) == 4);
+  static_assert(kInstructionSize == 4);
+}
+
+TEST(Isa, WritesSwitchMemoryClassification) {
+  EXPECT_TRUE(writesSwitchMemory(Opcode::Store));
+  EXPECT_TRUE(writesSwitchMemory(Opcode::Pop));
+  EXPECT_TRUE(writesSwitchMemory(Opcode::Cstore));
+  EXPECT_FALSE(writesSwitchMemory(Opcode::Load));
+  EXPECT_FALSE(writesSwitchMemory(Opcode::Push));
+  EXPECT_FALSE(writesSwitchMemory(Opcode::Cexec));
+  EXPECT_FALSE(writesSwitchMemory(Opcode::Add));
+  EXPECT_FALSE(writesSwitchMemory(Opcode::Nop));
+}
+
+TEST(Isa, TwoWordOperandClassification) {
+  EXPECT_TRUE(takesTwoPmemWords(Opcode::Cstore));
+  EXPECT_TRUE(takesTwoPmemWords(Opcode::Cexec));
+  EXPECT_FALSE(takesTwoPmemWords(Opcode::Load));
+  EXPECT_FALSE(takesTwoPmemWords(Opcode::Push));
+}
+
+TEST(Isa, NameRoundTrip) {
+  EXPECT_EQ(opcodeName(Opcode::Cstore), "CSTORE");
+  EXPECT_EQ(opcodeFromName("CSTORE"), Opcode::Cstore);
+  EXPECT_EQ(opcodeFromName("PUSH"), Opcode::Push);
+  EXPECT_FALSE(opcodeFromName("JUMP").has_value());  // no control flow (§3.2)
+  EXPECT_FALSE(opcodeFromName("push").has_value());  // case-sensitive
+}
+
+class IsaRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(IsaRoundTrip, EncodeDecodeIdentity) {
+  for (const std::uint16_t addr : {0x0000, 0x1000, 0xa001, 0xb000, 0xffff}) {
+    for (const std::uint8_t off : {0, 1, 127, 255}) {
+      const Instruction in{GetParam(), addr, off};
+      const auto out = Instruction::decode(in.encode());
+      ASSERT_TRUE(out);
+      EXPECT_EQ(*out, in);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, IsaRoundTrip,
+    ::testing::Values(Opcode::Nop, Opcode::Load, Opcode::Store, Opcode::Push,
+                      Opcode::Pop, Opcode::Cstore, Opcode::Cexec, Opcode::Add,
+                      Opcode::Sub, Opcode::Min, Opcode::Max),
+    [](const auto& info) {
+      return std::string(opcodeName(info.param));
+    });
+
+}  // namespace
+}  // namespace tpp::core

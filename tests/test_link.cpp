@@ -1,0 +1,126 @@
+#include "src/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/ethernet.hpp"
+
+namespace tpp::net {
+namespace {
+
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(sim::Simulator& s) : Node("sink"), sim_(s) {}
+  void receive(PacketPtr packet, std::size_t port) override {
+    arrivals.push_back({sim_.now(), packet->size(), port});
+  }
+  struct Arrival {
+    sim::Time at;
+    std::size_t size;
+    std::size_t port;
+  };
+  std::vector<Arrival> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  SinkNode a{sim};
+  SinkNode b{sim};
+};
+
+TEST_F(LinkTest, DeliveryTimeIsSerializationPlusPropagation) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::us(10));
+  // 1000-byte buffer + 24B overhead at 1G = 8.192 us serialization.
+  a.txChannel(0)->transmit(Packet::make(1000));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].at, sim::Time::ns(8192) + sim::Time::us(10));
+}
+
+TEST_F(LinkTest, TransmitReturnsSerializationEnd) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::us(10));
+  const auto end = a.txChannel(0)->transmit(Packet::make(1000));
+  EXPECT_EQ(end, sim::Time::ns(8192));
+}
+
+TEST_F(LinkTest, BackToBackSerializesSequentially) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::zero());
+  a.txChannel(0)->transmit(Packet::make(1000));
+  const auto end2 = a.txChannel(0)->transmit(Packet::make(1000));
+  EXPECT_EQ(end2, sim::Time::ns(2 * 8192));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[1].at - b.arrivals[0].at, sim::Time::ns(8192));
+}
+
+TEST_F(LinkTest, DuplexDirectionsAreIndependent) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::us(1));
+  a.txChannel(0)->transmit(Packet::make(500));
+  b.txChannel(0)->transmit(Packet::make(500));
+  sim.run();
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  // Full duplex: both arrive at the same instant, no contention.
+  EXPECT_EQ(a.arrivals[0].at, b.arrivals[0].at);
+}
+
+TEST_F(LinkTest, ArrivalPortMatchesWiring) {
+  auto link = DuplexLink::connect(sim, a, 2, b, 5, 1'000'000'000,
+                                  sim::Time::zero());
+  a.txChannel(2)->transmit(Packet::make(100));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].port, 5u);
+}
+
+TEST_F(LinkTest, IdleTracking) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::zero());
+  auto* ch = a.txChannel(0);
+  EXPECT_TRUE(ch->idleAt(sim.now()));
+  const auto end = ch->transmit(Packet::make(1000));
+  EXPECT_FALSE(ch->idleAt(sim.now()));
+  EXPECT_TRUE(ch->idleAt(end));
+}
+
+TEST_F(LinkTest, DeliveryCounters) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::zero());
+  a.txChannel(0)->transmit(Packet::make(100));
+  a.txChannel(0)->transmit(Packet::make(200));
+  sim.run();
+  EXPECT_EQ(a.txChannel(0)->packetsDelivered(), 2u);
+  EXPECT_EQ(a.txChannel(0)->bytesDelivered(), 300u);
+}
+
+TEST_F(LinkTest, SlowLinkRates) {
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 10'000'000,  // 10 Mb/s
+                                  sim::Time::zero());
+  a.txChannel(0)->transmit(Packet::make(1000));  // +24B → 819.2 us
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].at, sim::Time::ns(819'200));
+}
+
+TEST(Node, AttachPortGrowsSparsely) {
+  sim::Simulator sim;
+  SinkNode n(sim);
+  SinkNode peer(sim);
+  auto l1 = DuplexLink::connect(sim, n, 3, peer, 0, 1'000'000,
+                                sim::Time::zero());
+  EXPECT_EQ(n.portCount(), 4u);
+  EXPECT_EQ(n.txChannel(0), nullptr);
+  EXPECT_NE(n.txChannel(3), nullptr);
+}
+
+}  // namespace
+}  // namespace tpp::net

@@ -1,0 +1,75 @@
+#include "src/net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::net {
+namespace {
+
+TEST(Packet, MakeWithFill) {
+  auto p = Packet::make(64, 0xab);
+  EXPECT_EQ(p->size(), 64u);
+  EXPECT_EQ(p->bytes()[63], 0xab);
+}
+
+TEST(Packet, IdsAreUnique) {
+  auto a = Packet::make(10);
+  auto b = Packet::make(10);
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(Packet, CloneCopiesBytesAndMeta) {
+  auto p = Packet::make(16, 0x5a);
+  p->meta().inputPort = 3;
+  p->meta().matchedEntryId = 0x00010002;
+  p->flowId = 99;
+  p->createdAt = sim::Time::ms(5);
+  auto c = p->clone();
+  EXPECT_EQ(c->bytes(), p->bytes());
+  EXPECT_EQ(c->meta().inputPort, 3u);
+  EXPECT_EQ(c->meta().matchedEntryId, 0x00010002u);
+  EXPECT_EQ(c->flowId, 99u);
+  EXPECT_EQ(c->createdAt, sim::Time::ms(5));
+  EXPECT_NE(c->id(), p->id());  // a clone is a new packet
+}
+
+TEST(Packet, CloneIsDeep) {
+  auto p = Packet::make(8, 0);
+  auto c = p->clone();
+  c->bytes()[0] = 0xff;
+  EXPECT_EQ(p->bytes()[0], 0);
+}
+
+TEST(Packet, ResetMetaClearsAllFields) {
+  auto p = Packet::make(8);
+  p->meta() = PacketMeta{1, 2, 3, 4, 5, 6};
+  p->resetMeta();
+  EXPECT_EQ(p->meta().inputPort, 0u);
+  EXPECT_EQ(p->meta().outputPort, 0u);
+  EXPECT_EQ(p->meta().queueId, 0u);
+  EXPECT_EQ(p->meta().matchedEntryId, 0u);
+  EXPECT_EQ(p->meta().matchedTable, 0u);
+  EXPECT_EQ(p->meta().altRouteCount, 0u);
+}
+
+TEST(Packet, HexdumpShapesLines) {
+  auto p = Packet::make(20, 0x11);
+  const auto dump = p->hexdump(20);
+  EXPECT_NE(dump.find("0000  "), std::string::npos);
+  EXPECT_NE(dump.find("0010  "), std::string::npos);
+  EXPECT_NE(dump.find("11 "), std::string::npos);
+}
+
+TEST(Packet, HexdumpTruncates) {
+  auto p = Packet::make(300);
+  const auto dump = p->hexdump(32);
+  EXPECT_NE(dump.find("..."), std::string::npos);
+}
+
+TEST(Packet, SpanViewsSameStorage) {
+  auto p = Packet::make(8);
+  p->span()[0] = 0x42;
+  EXPECT_EQ(p->bytes()[0], 0x42);
+}
+
+}  // namespace
+}  // namespace tpp::net

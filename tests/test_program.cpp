@@ -1,0 +1,189 @@
+#include "src/core/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/memory_map.hpp"
+#include "src/net/byte_io.hpp"
+
+namespace tpp::core {
+namespace {
+
+TEST(ProgramBuilder, ImmediatesPrecedeStack) {
+  ProgramBuilder b;
+  b.cexec(addr::SwitchId, 0xffffffff, 5);
+  b.push(addr::QueueBytes);
+  b.reserve(4);
+  const auto p = b.build();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->initialPmem.size(), 2u);          // mask + value
+  EXPECT_EQ(p->initialPmem[0], 0xffffffffu);
+  EXPECT_EQ(p->initialPmem[1], 5u);
+  EXPECT_EQ(p->pmemWords, 6);                    // 2 imms + 4 reserved
+  EXPECT_EQ(p->initialSp, 8);                    // stack starts after imms
+}
+
+TEST(ProgramBuilder, CstoreReportsOperandOffset) {
+  ProgramBuilder b;
+  b.imm(0xaaaa);  // occupy slot 0
+  std::uint8_t off = 0;
+  b.cstore(kSramBase, 1, 2, &off);
+  const auto p = b.build();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(off, 1);
+  EXPECT_EQ(p->initialPmem[1], 1u);  // cond
+  EXPECT_EQ(p->initialPmem[2], 2u);  // src
+  EXPECT_EQ(p->instructions.back().pmemOff, 1);
+}
+
+TEST(ProgramBuilder, StoreImmStagesValue) {
+  ProgramBuilder b;
+  b.storeImm(addr::RcpRateRegister, 9000);
+  const auto p = b.build();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->instructions[0].op, Opcode::Store);
+  EXPECT_EQ(p->initialPmem[p->instructions[0].pmemOff], 9000u);
+}
+
+TEST(ProgramBuilder, ModeAndPerHopAndTask) {
+  ProgramBuilder b;
+  b.mode(AddressingMode::Hop).perHop(3).task(42).reserve(9);
+  b.load(addr::SwitchId, 0);
+  const auto p = b.build();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->mode, AddressingMode::Hop);
+  EXPECT_EQ(p->perHopWords, 3);
+  EXPECT_EQ(p->taskId, 42);
+}
+
+TEST(ProgramBuilder, RejectsOverlongPrograms) {
+  ProgramBuilder b;
+  for (int i = 0; i < 300; ++i) b.push(addr::QueueBytes);
+  EXPECT_FALSE(b.build().has_value());
+}
+
+TEST(ProgramBuilder, RejectsOverlongPacketMemory) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.reserve(255);
+  b.imm(1);  // 256 words total
+  EXPECT_FALSE(b.build().has_value());
+}
+
+TEST(Program, WireBytesFormula) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.push(addr::SwitchId);
+  b.reserve(10);
+  const auto p = b.build();
+  // header 12 + 2*4 instr + 10*4 pmem.
+  EXPECT_EQ(p->wireBytes(), 12u + 8u + 40u);
+}
+
+TEST(Program, PaperOverheadNumbers) {
+  // §3.3: 5 instructions = 20 bytes of instruction overhead.
+  ProgramBuilder b;
+  for (int i = 0; i < 5; ++i) b.push(addr::QueueBytes);
+  b.reserve(0);
+  const auto p = b.build();
+  EXPECT_EQ(p->instructions.size() * kInstructionSize, 20u);
+}
+
+TEST(BuildTppFrame, LayoutAndEtherType) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.reserve(2);
+  const auto program = *b.build();
+  const std::vector<std::uint8_t> payload{0xde, 0xad};
+  auto packet = buildTppFrame(net::MacAddress::fromIndex(9),
+                              net::MacAddress::fromIndex(8), program,
+                              net::kEtherTypeIpv4, payload);
+  const auto eth = net::EthernetHeader::parse(packet->span());
+  ASSERT_TRUE(eth);
+  EXPECT_EQ(eth->etherType, net::kEtherTypeTpp);
+  EXPECT_EQ(eth->dst, net::MacAddress::fromIndex(9));
+
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->innerEtherType(), net::kEtherTypeIpv4);
+  EXPECT_EQ(packet->bytes()[view->payloadOffset()], 0xde);
+}
+
+TEST(BuildTppFrame, PadsToMinimumFrame) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.reserve(1);
+  auto packet = buildTppFrame(net::MacAddress::fromIndex(1),
+                              net::MacAddress::fromIndex(2), *b.build());
+  EXPECT_GE(packet->size(), net::kMinFrameSize);
+}
+
+TEST(BuildTppFrame, InitialPmemIsSerialized) {
+  ProgramBuilder b;
+  b.cexec(addr::SwitchId, 0xff, 0x12);
+  const auto program = *b.build();
+  auto packet = buildTppFrame(net::MacAddress::fromIndex(1),
+                              net::MacAddress::fromIndex(2), program);
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  EXPECT_EQ(view->pmemWord(0), 0xffu);
+  EXPECT_EQ(view->pmemWord(1), 0x12u);
+}
+
+TEST(Shim, InsertThenStripRestoresFrame) {
+  // A plain IPv4 frame.
+  auto packet = net::Packet::make(80, 0x33);
+  net::EthernetHeader eth{net::MacAddress::fromIndex(5),
+                          net::MacAddress::fromIndex(6),
+                          net::kEtherTypeIpv4};
+  eth.write(packet->span());
+  const auto original = packet->bytes();
+
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.reserve(4);
+  insertTppShim(*packet, *b.build());
+
+  const auto shimmed = net::EthernetHeader::parse(packet->span());
+  EXPECT_EQ(shimmed->etherType, net::kEtherTypeTpp);
+  EXPECT_GT(packet->size(), original.size());
+
+  ASSERT_TRUE(stripTppShim(*packet));
+  EXPECT_EQ(packet->bytes(), original);
+}
+
+TEST(Shim, StripRejectsNonTpp) {
+  auto packet = net::Packet::make(80);
+  net::EthernetHeader eth{net::MacAddress::fromIndex(5),
+                          net::MacAddress::fromIndex(6),
+                          net::kEtherTypeIpv4};
+  eth.write(packet->span());
+  EXPECT_FALSE(stripTppShim(*packet));
+}
+
+TEST(ParseExecuted, RecoversProgramAndMemory) {
+  ProgramBuilder b;
+  b.push(addr::QueueBytes);
+  b.push(addr::SwitchId);
+  b.reserve(4);
+  const auto program = *b.build();
+  auto packet = buildTppFrame(net::MacAddress::fromIndex(1),
+                              net::MacAddress::fromIndex(2), program);
+  auto view = TppView::at(*packet, net::kEthernetHeaderSize);
+  view->setPmemWord(0, 0xa0);
+  view->setHopNumber(1);
+
+  const auto executed = parseExecuted(*packet);
+  ASSERT_TRUE(executed);
+  EXPECT_EQ(executed->instructions.size(), 2u);
+  EXPECT_EQ(executed->instructions[0].op, Opcode::Push);
+  EXPECT_EQ(executed->pmem.size(), 4u);
+  EXPECT_EQ(executed->pmem[0], 0xa0u);
+  EXPECT_EQ(executed->header.hopNumber, 1);
+}
+
+TEST(ParseExecuted, RejectsTruncation) {
+  auto packet = net::Packet::make(net::kEthernetHeaderSize + 4);
+  EXPECT_FALSE(parseExecuted(*packet));
+}
+
+}  // namespace
+}  // namespace tpp::core

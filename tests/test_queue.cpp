@@ -1,0 +1,83 @@
+#include "src/asic/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::asic {
+namespace {
+
+TEST(EgressQueue, EnqueueDequeueFifo) {
+  EgressQueue q(10'000);
+  auto a = net::Packet::make(100);
+  const auto idA = a->id();
+  q.enqueue(std::move(a));
+  q.enqueue(net::Packet::make(200));
+  EXPECT_EQ(q.bytes(), 300u);
+  EXPECT_EQ(q.packets(), 2u);
+  const auto out = q.dequeue();
+  EXPECT_EQ(out->id(), idA);
+  EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(EgressQueue, DropTailOnOverflow) {
+  EgressQueue q(250);
+  EXPECT_TRUE(q.enqueue(net::Packet::make(200)));
+  EXPECT_FALSE(q.enqueue(net::Packet::make(100)));  // would exceed 250
+  EXPECT_EQ(q.stats().droppedPackets, 1u);
+  EXPECT_EQ(q.stats().droppedBytes, 100u);
+  EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(EgressQueue, ExactFitAdmits) {
+  EgressQueue q(300);
+  EXPECT_TRUE(q.enqueue(net::Packet::make(300)));
+}
+
+TEST(EgressQueue, CumulativeCountersSurviveDequeue) {
+  EgressQueue q(10'000);
+  q.enqueue(net::Packet::make(100));
+  q.dequeue();
+  EXPECT_EQ(q.stats().enqueuedBytes, 100u);
+  EXPECT_EQ(q.stats().enqueuedPackets, 1u);
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(EgressQueue, DequeueEmptyReturnsNull) {
+  EgressQueue q(100);
+  EXPECT_EQ(q.dequeue(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PortQueueBank, TotalsAcrossQueues) {
+  PortQueueBank bank(4, 1000);
+  bank.queue(0).enqueue(net::Packet::make(100));
+  bank.queue(2).enqueue(net::Packet::make(200));
+  EXPECT_EQ(bank.totalBytes(), 300u);
+  EXPECT_FALSE(bank.allEmpty());
+}
+
+TEST(PortQueueBank, RoundRobinVisitsAllNonEmpty) {
+  PortQueueBank bank(4, 10'000);
+  bank.queue(1).enqueue(net::Packet::make(10));
+  bank.queue(3).enqueue(net::Packet::make(10));
+  bank.queue(1).enqueue(net::Packet::make(10));
+  const auto first = bank.nextNonEmpty();
+  ASSERT_TRUE(first);
+  EXPECT_EQ(*first, 1u);
+  bank.queue(*first).dequeue();
+  const auto second = bank.nextNonEmpty();
+  ASSERT_TRUE(second);
+  EXPECT_EQ(*second, 3u);  // RR cursor moved past queue 1
+  bank.queue(*second).dequeue();
+  const auto third = bank.nextNonEmpty();
+  ASSERT_TRUE(third);
+  EXPECT_EQ(*third, 1u);
+}
+
+TEST(PortQueueBank, NextNonEmptyWhenAllEmpty) {
+  PortQueueBank bank(4, 1000);
+  EXPECT_FALSE(bank.nextNonEmpty());
+  EXPECT_TRUE(bank.allEmpty());
+}
+
+}  // namespace
+}  // namespace tpp::asic

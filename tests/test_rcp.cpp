@@ -1,0 +1,120 @@
+#include "src/rcp/rcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpp::rcp {
+namespace {
+
+constexpr double kCapacity = 10e6;  // Fig 2's 10 Mb/s bottleneck
+
+RcpParams params() {
+  RcpParams p;
+  p.alpha = 0.5;
+  p.beta = 1.0;
+  p.rttSeconds = 0.01;
+  return p;
+}
+
+TEST(RcpStep, UnderUtilizedLinkRaisesRate) {
+  const double next =
+      rcpStep(kCapacity / 2, kCapacity, /*offered=*/kCapacity / 4,
+              /*qBits=*/0, /*T=*/0.01, params());
+  EXPECT_GT(next, kCapacity / 2);
+}
+
+TEST(RcpStep, OverSubscribedLinkLowersRate) {
+  const double next =
+      rcpStep(kCapacity, kCapacity, /*offered=*/2 * kCapacity,
+              /*qBits=*/0, 0.01, params());
+  EXPECT_LT(next, kCapacity);
+}
+
+TEST(RcpStep, StandingQueueLowersRate) {
+  const double next = rcpStep(kCapacity, kCapacity, /*offered=*/kCapacity,
+                              /*qBits=*/kCapacity * 0.01, 0.01, params());
+  EXPECT_LT(next, kCapacity);
+}
+
+TEST(RcpStep, PerfectUtilizationNoQueueIsFixedPoint) {
+  const double next = rcpStep(kCapacity / 3, kCapacity, kCapacity, 0.0,
+                              0.01, params());
+  EXPECT_DOUBLE_EQ(next, kCapacity / 3);
+}
+
+TEST(RcpStep, ClampsToCapacity) {
+  const double next = rcpStep(kCapacity, kCapacity, 0.0, 0.0, 1.0, params());
+  EXPECT_DOUBLE_EQ(next, kCapacity);
+}
+
+TEST(RcpStep, ClampsToFloor) {
+  const double next =
+      rcpStep(kCapacity, kCapacity, 100 * kCapacity, 1e9, 1.0, params());
+  EXPECT_DOUBLE_EQ(next, params().minRateFraction * kCapacity);
+}
+
+// Closed-loop property: simulate N flows all obeying R(t); R must converge
+// to about C/N regardless of starting point. (This is the Fig 2 dynamic in
+// miniature, without the packet-level machinery.)
+class RcpConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcpConvergence, ConvergesToFairShare) {
+  const int flows = GetParam();
+  const double T = 0.01;
+  double R = kCapacity;  // start optimistic
+  double queueBits = 0.0;
+  for (int step = 0; step < 600; ++step) {
+    const double offered = std::min(flows * R, 10 * kCapacity);
+    // Fluid queue: excess arrival accumulates, drain at capacity.
+    queueBits = std::max(0.0, queueBits + (offered - kCapacity) * T);
+    queueBits = std::min(queueBits, 4e6);  // finite buffer
+    R = rcpStep(R, kCapacity, offered, queueBits, T, params());
+  }
+  EXPECT_NEAR(R * flows, kCapacity, kCapacity * 0.15);
+  EXPECT_LT(queueBits, 1e6);  // queue drained at equilibrium
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, RcpConvergence,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+TEST(RcpHeader, WriteParseRoundTrip) {
+  std::vector<std::uint8_t> payload(32, 0);
+  RcpHeader h;
+  h.rateKbps = 125'000;
+  h.rttMicros = 250;
+  h.write(payload);
+  const auto parsed = RcpHeader::parse(payload);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->rateKbps, 125'000u);
+  EXPECT_EQ(parsed->rttMicros, 250u);
+}
+
+TEST(RcpHeader, ParseRejectsWrongMagic) {
+  std::vector<std::uint8_t> payload(32, 0);
+  EXPECT_FALSE(RcpHeader::parse(payload));
+}
+
+TEST(RcpHeader, ParseRejectsShortPayload) {
+  std::vector<std::uint8_t> payload(8, 0);
+  EXPECT_FALSE(RcpHeader::parse(payload));
+}
+
+TEST(RcpHeader, StampLowersButNeverRaises) {
+  std::vector<std::uint8_t> payload(32, 0);
+  RcpHeader h;
+  h.rateKbps = 1000;
+  h.write(payload);
+  EXPECT_FALSE(RcpHeader::stampMinRate(payload, 2000));  // higher: no-op
+  EXPECT_EQ(RcpHeader::parse(payload)->rateKbps, 1000u);
+  EXPECT_TRUE(RcpHeader::stampMinRate(payload, 500));
+  EXPECT_EQ(RcpHeader::parse(payload)->rateKbps, 500u);
+}
+
+TEST(RcpHeader, StampIgnoresNonRcpPayload) {
+  std::vector<std::uint8_t> payload(32, 0x77);
+  EXPECT_FALSE(RcpHeader::stampMinRate(payload, 1));
+}
+
+}  // namespace
+}  // namespace tpp::rcp

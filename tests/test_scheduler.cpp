@@ -1,0 +1,125 @@
+// Egress scheduling policies: round-robin fairness vs strict priority.
+#include <gtest/gtest.h>
+
+#include "src/host/flow.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp::asic {
+namespace {
+
+using host::Testbed;
+
+// Two senders, one receiver behind a 10 Mb/s port; sender i's traffic is
+// steered into queue `queueOf(i)` via TCAM.
+struct SchedFixture {
+  Testbed tb;
+  std::unique_ptr<host::PacedFlow> f0, f1;
+
+  explicit SchedFixture(SchedulerPolicy policy) {
+    asic::SwitchConfig cfg;
+    cfg.scheduler = policy;
+    cfg.bufferPerQueueBytes = 1 << 20;
+    host::LinkParams edge{1'000'000'000, sim::Time::us(1)};
+    buildStar(tb, 2, edge, cfg);
+    // Replace the receiver-facing link with a slow one? Simpler: send at
+    // 2x the receiver link rate so the egress port congests. Star links
+    // are homogeneous, so instead steer by source into queues and
+    // oversubscribe with high offered load from both senders.
+    TcamKey k0;
+    k0.ipSrc = {tb.host(0).ip(), 32};
+    tb.sw(0).tcam().add(k0, TcamAction{2, std::uint8_t{0}, false}, 10);
+    TcamKey k1;
+    k1.ipSrc = {tb.host(1).ip(), 32};
+    tb.sw(0).tcam().add(k1, TcamAction{2, std::uint8_t{3}, false}, 10);
+
+    for (int i = 0; i < 2; ++i) {
+      host::FlowSpec spec;
+      spec.dstMac = tb.host(2).mac();
+      spec.dstIp = tb.host(2).ip();
+      spec.srcPort = static_cast<std::uint16_t>(24000 + i);
+      spec.dstPort = spec.srcPort;
+      spec.rateBps = 800e6;  // 2 x 800M into a 1G port: sustained backlog
+      auto flow = std::make_unique<host::PacedFlow>(tb.host(i), spec, i + 1);
+      (i == 0 ? f0 : f1) = std::move(flow);
+    }
+  }
+
+  // Runs and returns (queue0 tx bytes, queue3 tx bytes) measured at the
+  // receiver by source port.
+  std::pair<std::uint64_t, std::uint64_t> run(sim::Time horizon) {
+    std::uint64_t q0 = 0, q3 = 0;
+    tb.host(2).bindUdp(24000, [&](const host::UdpDatagram& d) {
+      q0 += d.payload.size();
+    });
+    tb.host(2).bindUdp(24001, [&](const host::UdpDatagram& d) {
+      q3 += d.payload.size();
+    });
+    f0->start(sim::Time::zero());
+    f1->start(sim::Time::zero());
+    tb.sim().run(horizon);
+    f0->stop();
+    f1->stop();
+    return {q0, q3};
+  }
+};
+
+TEST(Scheduler, RoundRobinSharesEvenly) {
+  SchedFixture fx(SchedulerPolicy::RoundRobin);
+  const auto [q0, q3] = fx.run(sim::Time::ms(100));
+  ASSERT_GT(q0, 0u);
+  ASSERT_GT(q3, 0u);
+  const double ratio = static_cast<double>(q0) / static_cast<double>(q3);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(Scheduler, StrictPriorityStarvesLowQueue) {
+  SchedFixture fx(SchedulerPolicy::StrictPriority);
+  const auto [q0, q3] = fx.run(sim::Time::ms(100));
+  ASSERT_GT(q0, 0u);
+  // Queue 0 (sender 0) takes nearly everything; queue 3 only drains when
+  // queue 0 is momentarily empty (f0 offers only 80% of line rate).
+  EXPECT_GT(static_cast<double>(q0),
+            3.0 * static_cast<double>(std::max<std::uint64_t>(q3, 1)));
+}
+
+TEST(Scheduler, StrictPriorityDeliversLowLatencyForHighQueue) {
+  // Background blast in queue 3; a single high-priority packet in queue 0
+  // overtakes the backlog.
+  asic::SwitchConfig cfg;
+  cfg.scheduler = SchedulerPolicy::StrictPriority;
+  cfg.bufferPerQueueBytes = 1 << 20;
+  Testbed tb;
+  buildStar(tb, 2, host::LinkParams{100'000'000, sim::Time::us(1)}, cfg);
+  TcamKey low;
+  low.ipSrc = {tb.host(1).ip(), 32};
+  tb.sw(0).tcam().add(low, TcamAction{2, std::uint8_t{3}, false}, 10);
+
+  host::FlowSpec blast;
+  blast.dstMac = tb.host(2).mac();
+  blast.dstIp = tb.host(2).ip();
+  blast.srcPort = 25000;
+  blast.dstPort = 25000;
+  blast.rateBps = 300e6;  // 3x the egress: deep queue-3 backlog
+  host::PacedFlow bg(tb.host(1), blast, 9);
+  bg.start(sim::Time::zero());
+
+  sim::Time sentAt, gotAt;
+  tb.host(2).bindUdp(26000, [&](const host::UdpDatagram&) {
+    gotAt = tb.sim().now();
+  });
+  tb.sim().schedule(sim::Time::ms(20), [&] {
+    sentAt = tb.sim().now();
+    tb.host(0).sendUdp(tb.host(2).mac(), tb.host(2).ip(), 26000, 26000, {});
+  });
+  tb.sim().run(sim::Time::ms(40));
+  bg.stop();
+
+  ASSERT_GT(gotAt, sim::Time::zero());
+  // One in-service low-priority packet at most delays us ~ 82 us + our own
+  // serialization; far below the multi-ms queue-3 backlog.
+  EXPECT_LT((gotAt - sentAt).toMicros(), 300.0);
+}
+
+}  // namespace
+}  // namespace tpp::asic

@@ -1,0 +1,136 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tpp::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), Time::zero());
+}
+
+TEST(Simulator, ScheduleAdvancesClock) {
+  Simulator s;
+  Time observed;
+  s.schedule(Time::ms(5), [&] { observed = s.now(); });
+  s.run();
+  EXPECT_EQ(observed, Time::ms(5));
+  EXPECT_EQ(s.now(), Time::ms(5));
+}
+
+TEST(Simulator, RelativeSchedulingNests) {
+  Simulator s;
+  std::vector<std::int64_t> at;
+  s.schedule(Time::ms(1), [&] {
+    at.push_back(s.now().nanos());
+    s.schedule(Time::ms(1), [&] { at.push_back(s.now().nanos()); });
+  });
+  s.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], Time::ms(1).nanos());
+  EXPECT_EQ(at[1], Time::ms(2).nanos());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(Time::ms(1), [&] { ++ran; });
+  s.schedule(Time::ms(10), [&] { ++ran; });
+  s.run(Time::ms(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), Time::ms(5));  // clock advances to the horizon
+  s.run(Time::ms(20));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, EventAtHorizonRuns) {
+  Simulator s;
+  bool ran = false;
+  s.schedule(Time::ms(5), [&] { ran = true; });
+  s.run(Time::ms(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(Time::ms(1), [&] {
+    ++ran;
+    s.stop();
+  });
+  s.schedule(Time::ms(2), [&] { ++ran; });
+  s.run();
+  EXPECT_EQ(ran, 1);
+  // A later run resumes with the remaining events.
+  s.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunEventsBounded) {
+  Simulator s;
+  int ran = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule(Time::ms(i), [&] { ++ran; });
+  }
+  EXPECT_EQ(s.runEvents(3), 3u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(s.runEvents(100), 7u);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  s.schedule(Time::ms(5), [&] {
+    Time observed;
+    s.schedule(Time::ms(-3), [&, start = s.now()] { observed = s.now(); });
+    // The clamped event must not move time backwards.
+    s.schedule(Time::ms(1), [&] { EXPECT_GE(s.now(), Time::ms(5)); });
+  });
+  s.run();
+  EXPECT_GE(s.now(), Time::ms(5));
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator s;
+  Time observed = Time::ns(-1);
+  s.schedule(Time::ms(5), [&] {
+    s.scheduleAt(Time::ms(1), [&] { observed = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(observed, Time::ms(5));
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule(Time::ms(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.eventsExecuted(), 5u);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator s;
+  bool ran = false;
+  auto h = s.schedule(Time::ms(1), [&] { ran = true; });
+  h.cancel();
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, DeterministicOrderAtSameInstant) {
+  // Two identical runs must execute same-time events identically.
+  auto run = [] {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      s.schedule(Time::ms(1), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tpp::sim

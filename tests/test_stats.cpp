@@ -1,0 +1,137 @@
+#include "src/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tpp::sim {
+namespace {
+
+TEST(Ewma, FirstSamplePrimes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.primed());
+  e.add(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, Smooths) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e(0.2);
+  e.add(5.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(WindowedRate, ZeroBeforeFirstWindowCompletes) {
+  WindowedRate r(Time::ms(10));
+  r.add(Time::ms(1), 1000);
+  EXPECT_DOUBLE_EQ(r.rateBps(Time::ms(5)), 0.0);
+}
+
+TEST(WindowedRate, ReportsCompletedWindow) {
+  WindowedRate r(Time::ms(10));
+  r.add(Time::ms(1), 1000);
+  r.add(Time::ms(5), 1000);
+  // 2000 bytes over 10 ms = 1.6 Mb/s.
+  EXPECT_DOUBLE_EQ(r.rateBps(Time::ms(12)), 1.6e6);
+}
+
+TEST(WindowedRate, IdleWindowsDecayToZero) {
+  WindowedRate r(Time::ms(10));
+  r.add(Time::ms(1), 1000);
+  EXPECT_GT(r.rateBps(Time::ms(12)), 0.0);
+  // Two full idle windows later the estimate must read zero.
+  EXPECT_DOUBLE_EQ(r.rateBps(Time::ms(35)), 0.0);
+}
+
+TEST(WindowedRate, SteadyTrafficSteadyRate) {
+  WindowedRate r(Time::ms(10));
+  // 1250 bytes per ms = 10 Mb/s.
+  for (int t = 0; t < 100; ++t) r.add(Time::ms(t), 1250);
+  EXPECT_NEAR(r.rateBps(Time::ms(100)), 10e6, 1e4);
+}
+
+TEST(Summary, Moments) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+}
+
+TEST(Histogram, OverflowGoesToLastBin) {
+  Histogram h(0, 10, 10);
+  h.add(1e9);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, UnderflowClampsToFirstBin) {
+  Histogram h(10, 20, 10);
+  h.add(-5.0);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h(0, 10, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TimeSeries, StoresPoints) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(Time::ms(1), 10.0);
+  ts.add(Time::ms(2), 20.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.points()[1].second, 20.0);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts;
+  for (int t = 0; t < 10; ++t) ts.add(Time::ms(t), t);
+  // [3ms, 6ms) covers samples 3,4,5.
+  EXPECT_DOUBLE_EQ(ts.meanOver(Time::ms(3), Time::ms(6)), 4.0);
+  EXPECT_DOUBLE_EQ(ts.meanOver(Time::sec(1), Time::sec(2)), 0.0);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  TimeSeries ts;
+  ts.add(Time::ms(1500), 2.5);
+  EXPECT_EQ(ts.toCsv(), "1.5,2.5\n");
+}
+
+}  // namespace
+}  // namespace tpp::sim

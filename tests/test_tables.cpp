@@ -1,0 +1,254 @@
+#include "src/asic/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/net/ethernet.hpp"
+
+namespace tpp::asic {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+TEST(L2Table, ExactMatch) {
+  L2Table t;
+  t.add(MacAddress::fromIndex(1), 3);
+  const auto r = t.match(MacAddress::fromIndex(1));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->outPort, 3u);
+  EXPECT_FALSE(t.match(MacAddress::fromIndex(2)));
+}
+
+TEST(L2Table, UpdateBumpsVersions) {
+  L2Table t;
+  t.add(MacAddress::fromIndex(1), 3);
+  const auto v1 = t.version();
+  const auto e1 = t.match(MacAddress::fromIndex(1))->entryId;
+  t.add(MacAddress::fromIndex(1), 4);  // move the host
+  EXPECT_GT(t.version(), v1);
+  const auto r = t.match(MacAddress::fromIndex(1));
+  EXPECT_EQ(r->outPort, 4u);
+  // Same entry index, new version — the ndb staleness signal.
+  EXPECT_EQ(r->entryId & 0xffff, e1 & 0xffff);
+  EXPECT_NE(r->entryId >> 16, e1 >> 16);
+}
+
+TEST(L2Table, RemoveDeletes) {
+  L2Table t;
+  t.add(MacAddress::fromIndex(1), 3);
+  EXPECT_TRUE(t.remove(MacAddress::fromIndex(1)));
+  EXPECT_FALSE(t.remove(MacAddress::fromIndex(1)));
+  EXPECT_FALSE(t.match(MacAddress::fromIndex(1)));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(L3Lpm, LongestPrefixWins) {
+  L3LpmTable t;
+  t.add(Ipv4Address::fromOctets(10, 0, 0, 0), 8, 1);
+  t.add(Ipv4Address::fromOctets(10, 1, 0, 0), 16, 2);
+  t.add(Ipv4Address::fromOctets(10, 1, 2, 0), 24, 3);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(10, 1, 2, 3))->outPort, 3u);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(10, 1, 9, 9))->outPort, 2u);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(10, 9, 9, 9))->outPort, 1u);
+  EXPECT_FALSE(t.match(Ipv4Address::fromOctets(11, 0, 0, 1)));
+}
+
+TEST(L3Lpm, AltRoutesCountsCoveringPrefixes) {
+  L3LpmTable t;
+  t.add(Ipv4Address::fromOctets(10, 0, 0, 0), 8, 1);
+  t.add(Ipv4Address::fromOctets(10, 1, 0, 0), 16, 2);
+  const auto r = t.match(Ipv4Address::fromOctets(10, 1, 2, 3));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->altRoutes, 1u);  // the /8 also covers it
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(10, 9, 9, 9))->altRoutes, 0u);
+}
+
+TEST(L3Lpm, DefaultRouteMatchesEverything) {
+  L3LpmTable t;
+  t.add(Ipv4Address{0}, 0, 7);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(1, 2, 3, 4))->outPort, 7u);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(255, 255, 255, 255))->outPort,
+            7u);
+}
+
+TEST(L3Lpm, HostRouteExactness) {
+  L3LpmTable t;
+  t.add(Ipv4Address::forHost(5), 32, 2);
+  EXPECT_TRUE(t.match(Ipv4Address::forHost(5)));
+  EXPECT_FALSE(t.match(Ipv4Address::forHost(6)));
+}
+
+TEST(L3Lpm, PrefixIsMaskedOnInsert) {
+  L3LpmTable t;
+  // Junk host bits must not break matching.
+  t.add(Ipv4Address::fromOctets(10, 1, 2, 99), 24, 4);
+  EXPECT_EQ(t.match(Ipv4Address::fromOctets(10, 1, 2, 7))->outPort, 4u);
+}
+
+TEST(L3Lpm, ReAddUpdatesInPlace) {
+  L3LpmTable t;
+  t.add(Ipv4Address::fromOctets(10, 0, 0, 0), 8, 1);
+  const auto e1 = t.match(Ipv4Address::fromOctets(10, 0, 0, 1))->entryId;
+  t.add(Ipv4Address::fromOctets(10, 0, 0, 0), 8, 2);
+  const auto r = t.match(Ipv4Address::fromOctets(10, 0, 0, 1));
+  EXPECT_EQ(r->outPort, 2u);
+  EXPECT_EQ(r->entryId & 0xffff, e1 & 0xffff);
+  EXPECT_NE(r->entryId, e1);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(L3Lpm, RemoveByPrefix) {
+  L3LpmTable t;
+  t.add(Ipv4Address::fromOctets(10, 0, 0, 0), 8, 1);
+  EXPECT_TRUE(t.remove(Ipv4Address::fromOctets(10, 0, 0, 0), 8));
+  EXPECT_FALSE(t.remove(Ipv4Address::fromOctets(10, 0, 0, 0), 8));
+  EXPECT_FALSE(t.match(Ipv4Address::fromOctets(10, 0, 0, 1)));
+}
+
+Tcam::PacketFields fieldsFor(Ipv4Address dst) {
+  Tcam::PacketFields f;
+  f.dstMac = MacAddress::fromIndex(1);
+  f.etherType = net::kEtherTypeIpv4;
+  f.ipSrc = Ipv4Address::forHost(1);
+  f.ipDst = dst;
+  f.ipProto = net::kIpProtoUdp;
+  return f;
+}
+
+TEST(Tcam, PriorityOrdersMatches) {
+  Tcam t;
+  TcamKey low;  // match-all
+  t.add(low, TcamAction{1}, 10);
+  TcamKey high;
+  high.ipDst = {Ipv4Address::forHost(5), 32};
+  t.add(high, TcamAction{2}, 20);
+  EXPECT_EQ(t.match(fieldsFor(Ipv4Address::forHost(5)))->outPort, 2u);
+  EXPECT_EQ(t.match(fieldsFor(Ipv4Address::forHost(6)))->outPort, 1u);
+}
+
+TEST(Tcam, AltRoutesCountsShadowedMatches) {
+  Tcam t;
+  t.add(TcamKey{}, TcamAction{1}, 10);
+  TcamKey k;
+  k.ipDst = {Ipv4Address::forHost(5), 32};
+  t.add(k, TcamAction{2}, 20);
+  EXPECT_EQ(t.match(fieldsFor(Ipv4Address::forHost(5)))->altRoutes, 1u);
+}
+
+TEST(Tcam, WildcardFieldsMatchAnything) {
+  Tcam t;
+  TcamKey k;  // all fields nullopt
+  t.add(k, TcamAction{3}, 1);
+  auto f = fieldsFor(Ipv4Address::forHost(9));
+  f.ipProto = std::nullopt;
+  f.ipSrc = std::nullopt;
+  f.ipDst = std::nullopt;
+  EXPECT_TRUE(t.match(f));
+}
+
+TEST(Tcam, ProtoFieldRequiresIp) {
+  Tcam t;
+  TcamKey k;
+  k.ipProto = net::kIpProtoUdp;
+  t.add(k, TcamAction{3}, 1);
+  auto f = fieldsFor(Ipv4Address::forHost(1));
+  f.ipProto = std::nullopt;  // non-IP packet
+  EXPECT_FALSE(t.match(f));
+}
+
+TEST(Tcam, DropAction) {
+  Tcam t;
+  TcamKey k;
+  k.ipDst = {Ipv4Address::forHost(5), 32};
+  t.add(k, TcamAction{0, std::nullopt, true}, 10);
+  const auto r = t.match(fieldsFor(Ipv4Address::forHost(5)));
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->drop);
+}
+
+TEST(Tcam, QueueSteeringAction) {
+  Tcam t;
+  t.add(TcamKey{}, TcamAction{1, std::uint8_t{5}, false}, 10);
+  const auto r = t.match(fieldsFor(Ipv4Address::forHost(5)));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->queueId, std::uint8_t{5});
+}
+
+TEST(Tcam, UpdateBumpsEntryVersion) {
+  Tcam t;
+  const auto id = t.add(TcamKey{}, TcamAction{1}, 10);
+  const auto before = *t.packedId(id);
+  EXPECT_TRUE(t.update(id, TcamAction{2}));
+  const auto after = *t.packedId(id);
+  EXPECT_EQ(before & 0xffff, after & 0xffff);
+  EXPECT_EQ((before >> 16) + 1, after >> 16);
+  EXPECT_EQ(t.match(fieldsFor(Ipv4Address::forHost(1)))->entryId, after);
+}
+
+TEST(Tcam, RemoveAndUnknownIds) {
+  Tcam t;
+  const auto id = t.add(TcamKey{}, TcamAction{1}, 10);
+  EXPECT_TRUE(t.remove(id));
+  EXPECT_FALSE(t.remove(id));
+  EXPECT_FALSE(t.update(id, TcamAction{2}));
+  EXPECT_FALSE(t.packedId(id));
+  EXPECT_FALSE(t.match(fieldsFor(Ipv4Address::forHost(1))));
+}
+
+TEST(Tcam, SrcPrefixMatching) {
+  Tcam t;
+  TcamKey k;
+  k.ipSrc = {Ipv4Address::fromOctets(10, 0, 0, 0), 24};
+  t.add(k, TcamAction{4}, 10);
+  auto f = fieldsFor(Ipv4Address::forHost(1));
+  f.ipSrc = Ipv4Address::fromOctets(10, 0, 0, 200);
+  EXPECT_TRUE(t.match(f));
+  f.ipSrc = Ipv4Address::fromOctets(10, 0, 1, 200);
+  EXPECT_FALSE(t.match(f));
+}
+
+
+TEST(L3Lpm, MultipathSelectsByFlowHash) {
+  L3LpmTable t;
+  t.addMultipath(Ipv4Address{0}, 0, {2, 3, 4});
+  const auto dst = Ipv4Address::forHost(1);
+  std::set<std::size_t> seen;
+  for (std::uint64_t h = 0; h < 16; ++h) {
+    seen.insert(t.match(dst, h)->outPort);
+  }
+  EXPECT_EQ(seen, (std::set<std::size_t>{2, 3, 4}));
+  // Same hash, same port: flows stay pinned.
+  EXPECT_EQ(t.match(dst, 7)->outPort, t.match(dst, 7)->outPort);
+}
+
+TEST(L3Lpm, MultipathCountsSiblingsAsAltRoutes) {
+  L3LpmTable t;
+  t.addMultipath(Ipv4Address::fromOctets(10, 0, 0, 0), 8, {1, 2, 3});
+  t.add(Ipv4Address{0}, 0, 9);
+  const auto r = t.match(Ipv4Address::forHost(1), 0);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->altRoutes, 3u);  // 2 ECMP siblings + 1 covering default
+}
+
+TEST(L3Lpm, MultipathReAddReplacesPortSet) {
+  L3LpmTable t;
+  t.addMultipath(Ipv4Address{0}, 0, {1, 2});
+  t.addMultipath(Ipv4Address{0}, 0, {5});
+  EXPECT_EQ(t.match(Ipv4Address::forHost(1), 12345)->outPort, 5u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(L3Lpm, MultipathEmptyPortListIgnored) {
+  L3LpmTable t;
+  t.addMultipath(Ipv4Address{0}, 0, {});
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PackEntryId, Layout) {
+  EXPECT_EQ(packEntryId(0x1234, 0x00ab), 0x00ab1234u);
+}
+
+}  // namespace
+}  // namespace tpp::asic

@@ -1,0 +1,89 @@
+#include "src/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.nanos(), 0);
+  EXPECT_EQ(Time{}, Time::zero());
+}
+
+TEST(Time, NamedConstructorsScale) {
+  EXPECT_EQ(Time::ns(7).nanos(), 7);
+  EXPECT_EQ(Time::us(7).nanos(), 7'000);
+  EXPECT_EQ(Time::ms(7).nanos(), 7'000'000);
+  EXPECT_EQ(Time::sec(7).nanos(), 7'000'000'000);
+}
+
+TEST(Time, SecondsFromDouble) {
+  EXPECT_EQ(Time::seconds(1.5).nanos(), 1'500'000'000);
+  EXPECT_EQ(Time::seconds(0.000001).nanos(), 1'000);
+}
+
+TEST(Time, ConversionsRoundTrip) {
+  const Time t = Time::us(1234);
+  EXPECT_DOUBLE_EQ(t.toSeconds(), 0.001234);
+  EXPECT_DOUBLE_EQ(t.toMicros(), 1234.0);
+  EXPECT_DOUBLE_EQ(t.toMillis(), 1.234);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time::ms(1) + Time::us(500), Time::us(1500));
+  EXPECT_EQ(Time::ms(2) - Time::ms(3), Time::ms(-1));
+  EXPECT_EQ(Time::us(10) * 3, Time::us(30));
+  EXPECT_EQ(Time::us(10) / 2, Time::us(5));
+  EXPECT_DOUBLE_EQ(Time::ms(1) / Time::us(250), 4.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::ms(1);
+  t += Time::ms(2);
+  EXPECT_EQ(t, Time::ms(3));
+  t -= Time::ms(1);
+  EXPECT_EQ(t, Time::ms(2));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_GT(Time::sec(1), Time::ms(999));
+  EXPECT_LE(Time::ms(1), Time::us(1000));
+  EXPECT_GE(Time::ms(1), Time::us(1000));
+}
+
+TEST(Time, MaxActsAsInfinity) {
+  EXPECT_GT(Time::max(), Time::sec(100 * 365 * 24 * 3600LL));
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::ns(5).toString(), "5ns");
+  EXPECT_EQ(Time::us(5).toString(), "5.000us");
+  EXPECT_EQ(Time::ms(5).toString(), "5.000ms");
+  EXPECT_EQ(Time::sec(5).toString(), "5.000000s");
+}
+
+TEST(TransmissionTime, MatchesHandComputation) {
+  // 1000 bytes at 1 Gb/s = 8 us.
+  EXPECT_EQ(transmissionTime(1000, 1'000'000'000), Time::us(8));
+  // 1500 bytes at 10 Mb/s = 1.2 ms.
+  EXPECT_EQ(transmissionTime(1500, 10'000'000), Time::us(1200));
+}
+
+TEST(TransmissionTime, NoOverflowForJumboOnSlowLink) {
+  // 9000 bytes = 72000 bits at 1 kb/s = 72 s; the ns math must not
+  // overflow 64 bits on the way there.
+  EXPECT_EQ(transmissionTime(9000, 1000), Time::sec(72));
+  // And a genuinely huge transfer still fits.
+  EXPECT_EQ(transmissionTime(1'000'000'000, 1000),
+            Time::sec(8'000'000'000LL / 1000));
+}
+
+TEST(TransmissionTime, MinimumFrameAtLineRate) {
+  // 64B + 24B Ethernet overhead at 10G ≈ 70.4 ns; we charge overhead at the
+  // Link layer, so the raw call for 88 bytes:
+  EXPECT_EQ(transmissionTime(88, 10'000'000'000ULL), Time::ns(70));
+}
+
+}  // namespace
+}  // namespace tpp::sim

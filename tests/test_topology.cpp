@@ -1,0 +1,121 @@
+#include "src/host/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tpp::host {
+namespace {
+
+int pingDelivered(Testbed& tb, std::size_t from, std::size_t to) {
+  int delivered = 0;
+  tb.host(to).bindUdp(9000, [&](const UdpDatagram&) { ++delivered; });
+  tb.host(from).sendUdp(tb.host(to).mac(), tb.host(to).ip(), 9000, 9000, {});
+  tb.sim().run();
+  return delivered;
+}
+
+TEST(Topology, ChainConnectsEndHosts) {
+  Testbed tb;
+  buildChain(tb, 4, LinkParams{1'000'000'000, sim::Time::us(1)});
+  EXPECT_EQ(tb.hostCount(), 2u);
+  EXPECT_EQ(tb.switchCount(), 4u);
+  EXPECT_EQ(pingDelivered(tb, 0, 1), 1);
+}
+
+TEST(Topology, ChainWorksBothDirections) {
+  Testbed tb;
+  buildChain(tb, 3, LinkParams{1'000'000'000, sim::Time::us(1)});
+  EXPECT_EQ(pingDelivered(tb, 1, 0), 1);
+}
+
+TEST(Topology, SingleSwitchChain) {
+  Testbed tb;
+  buildChain(tb, 1, LinkParams{1'000'000'000, sim::Time::us(1)});
+  EXPECT_EQ(pingDelivered(tb, 0, 1), 1);
+}
+
+TEST(Topology, DumbbellAllPairsConnect) {
+  Testbed tb;
+  buildDumbbell(tb, 3, LinkParams{1'000'000'000, sim::Time::us(1)},
+                LinkParams{100'000'000, sim::Time::us(10)});
+  EXPECT_EQ(tb.hostCount(), 6u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    Testbed tb2;
+    buildDumbbell(tb2, 3, LinkParams{1'000'000'000, sim::Time::us(1)},
+                  LinkParams{100'000'000, sim::Time::us(10)});
+    EXPECT_EQ(pingDelivered(tb2, i, 3 + i), 1) << "pair " << i;
+  }
+}
+
+TEST(Topology, DumbbellCrossTrafficRoutes) {
+  Testbed tb;
+  buildDumbbell(tb, 2, LinkParams{1'000'000'000, sim::Time::us(1)},
+                LinkParams{100'000'000, sim::Time::us(10)});
+  // Sender 0 to receiver of pair 1.
+  EXPECT_EQ(pingDelivered(tb, 0, 3), 1);
+  // Sender-to-sender stays on the left switch.
+  Testbed tb2;
+  buildDumbbell(tb2, 2, LinkParams{1'000'000'000, sim::Time::us(1)},
+                LinkParams{100'000'000, sim::Time::us(10)});
+  EXPECT_EQ(pingDelivered(tb2, 0, 1), 1);
+  EXPECT_EQ(tb2.sw(1).stats().totalRxPackets, 0u);  // never crossed
+}
+
+TEST(Topology, StarConnectsSendersToReceiver) {
+  Testbed tb;
+  buildStar(tb, 5, LinkParams{1'000'000'000, sim::Time::us(1)});
+  EXPECT_EQ(tb.hostCount(), 6u);
+  EXPECT_EQ(tb.switchCount(), 1u);
+  EXPECT_EQ(pingDelivered(tb, 0, 5), 1);
+}
+
+TEST(Topology, AttachmentOfFindsEdgeSwitch) {
+  Testbed tb;
+  buildDumbbell(tb, 2, LinkParams{1'000'000'000, sim::Time::us(1)},
+                LinkParams{100'000'000, sim::Time::us(10)});
+  const auto att = tb.attachmentOf(tb.host(0));
+  ASSERT_NE(att.sw, nullptr);
+  EXPECT_EQ(att.sw, &tb.sw(0));
+  EXPECT_EQ(att.port, 0u);
+  const auto attR = tb.attachmentOf(tb.host(3));
+  EXPECT_EQ(attR.sw, &tb.sw(1));
+  EXPECT_EQ(attR.port, 1u);
+}
+
+TEST(Topology, RoutesUseShortestPath) {
+  // Custom triangle: sw0--sw1 direct, and sw0--sw2--sw1 long way.
+  Testbed tb;
+  auto& h0 = tb.addHost();
+  auto& h1 = tb.addHost();
+  asic::SwitchConfig cfg;
+  auto& s0 = tb.addSwitch(cfg);
+  auto& s1 = tb.addSwitch(cfg);
+  auto& s2 = tb.addSwitch(cfg);
+  const LinkParams lp{1'000'000'000, sim::Time::us(1)};
+  tb.link(h0, 0, s0, 0, lp.rateBps, lp.delay);
+  tb.link(h1, 0, s1, 0, lp.rateBps, lp.delay);
+  tb.link(s0, 1, s1, 1, lp.rateBps, lp.delay);  // direct
+  tb.link(s0, 2, s2, 0, lp.rateBps, lp.delay);  // detour
+  tb.link(s2, 1, s1, 2, lp.rateBps, lp.delay);
+  tb.installAllRoutes();
+
+  int delivered = 0;
+  h1.bindUdp(9000, [&](const UdpDatagram&) { ++delivered; });
+  h0.sendUdp(h1.mac(), h1.ip(), 9000, 9000, {});
+  tb.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(tb.sw(2).stats().totalRxPackets, 0u);  // detour unused
+}
+
+TEST(Topology, HostNamesAndDefaults) {
+  Testbed tb;
+  auto& h = tb.addHost();
+  auto& s = tb.addSwitch();
+  EXPECT_EQ(h.name(), "h0");
+  EXPECT_EQ(s.name(), "sw0");
+  EXPECT_EQ(s.config().switchId, 1u);
+  auto& named = tb.addSwitch({}, "core-1");
+  EXPECT_EQ(named.name(), "core-1");
+}
+
+}  // namespace
+}  // namespace tpp::host

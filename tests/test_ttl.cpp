@@ -1,0 +1,117 @@
+// TTL handling on routed packets: decrement per L3 hop, drop on expiry.
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+#include "src/net/byte_io.hpp"
+#include "src/net/ipv4.hpp"
+
+namespace tpp::asic {
+namespace {
+
+using host::Testbed;
+
+// Rewrites the TTL of a host-built frame (the host stack always sends 64).
+net::PacketPtr frameWithTtl(host::Host& from, host::Host& to,
+                            std::uint8_t ttl) {
+  auto packet = from.makeUdpFrame(to.mac(), to.ip(), 9000, 9000, {});
+  auto ip = packet->span().subspan(net::kEthernetHeaderSize);
+  ip[8] = ttl;
+  net::putBe16(ip, 10, 0);
+  net::putBe16(ip, 10, net::internetChecksum(ip.first(net::kIpv4HeaderSize)));
+  return packet;
+}
+
+struct TtlFixture : public ::testing::Test {
+  Testbed tb;
+  int delivered = 0;
+  std::uint8_t deliveredTtl = 0;
+
+  void SetUp() override {
+    buildChain(tb, 3, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+    tb.host(1).bindUdp(9000, [this](const host::UdpDatagram& d) {
+      ++delivered;
+      const auto ip = net::Ipv4Header::parse(
+          d.packet->span().subspan(net::kEthernetHeaderSize));
+      deliveredTtl = ip ? ip->ttl : 0;
+    });
+  }
+};
+
+TEST_F(TtlFixture, DecrementedOncePerRoutedHop) {
+  tb.host(0).transmit(frameWithTtl(tb.host(0), tb.host(1), 64));
+  tb.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(deliveredTtl, 64 - 3);  // three L3 hops
+}
+
+TEST_F(TtlFixture, ChecksumStaysValidAfterRewrite) {
+  // Delivery itself proves it: Ipv4Header::parse rejects bad checksums and
+  // the host would not deliver the datagram.
+  tb.host(0).transmit(frameWithTtl(tb.host(0), tb.host(1), 10));
+  tb.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(deliveredTtl, 7);
+}
+
+TEST_F(TtlFixture, ExactlyEnoughTtlSurvives) {
+  tb.host(0).transmit(frameWithTtl(tb.host(0), tb.host(1), 4));
+  tb.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(deliveredTtl, 1);
+}
+
+TEST_F(TtlFixture, ExpiringPacketIsDropped) {
+  tb.host(0).transmit(frameWithTtl(tb.host(0), tb.host(1), 2));
+  tb.sim().run();
+  EXPECT_EQ(delivered, 0);
+  // sw0 decrements 2 -> 1; sw1 sees an expiring packet and drops it.
+  EXPECT_EQ(tb.sw(1).stats().ttlExpired, 1u);
+  EXPECT_EQ(tb.sw(1).stats().totalDrops, 1u);
+  EXPECT_EQ(tb.sw(2).stats().totalRxPackets, 0u);
+}
+
+TEST_F(TtlFixture, TtlOneDropsAtFirstSwitch) {
+  tb.host(0).transmit(frameWithTtl(tb.host(0), tb.host(1), 1));
+  tb.sim().run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(tb.sw(0).stats().ttlExpired, 1u);
+}
+
+TEST_F(TtlFixture, RoutingLoopIsBounded) {
+  // Deliberately miswire: sw0 and sw1 point a victim /32 at each other.
+  const auto victim = net::Ipv4Address::fromOctets(10, 9, 9, 9);
+  tb.sw(0).l3().add(victim, 32, 1);
+  tb.sw(1).l3().add(victim, 32, 0);
+  auto packet = tb.host(0).makeUdpFrame(net::MacAddress::fromIndex(99),
+                                        victim, 1, 1, {});
+  tb.host(0).transmit(std::move(packet));
+  tb.sim().run();  // must terminate — that is the property under test
+  EXPECT_EQ(tb.sw(0).stats().ttlExpired + tb.sw(1).stats().ttlExpired, 1u);
+  // The packet ping-ponged ~64 times, not forever.
+  EXPECT_LT(tb.sw(0).stats().totalRxPackets, 40u);
+}
+
+TEST(TtlUnit, L2SwitchedFramesAreNotDecremented) {
+  // A TCAM-forwarded (non-L3) packet keeps its TTL: only routing
+  // decrements.
+  Testbed tb;
+  buildChain(tb, 1, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+  TcamKey k;
+  k.ipDst = {tb.host(1).ip(), 32};
+  tb.sw(0).tcam().add(k, TcamAction{1}, 100);
+  int delivered = 0;
+  std::uint8_t ttl = 0;
+  tb.host(1).bindUdp(9000, [&](const host::UdpDatagram& d) {
+    ++delivered;
+    const auto ip = net::Ipv4Header::parse(
+        d.packet->span().subspan(net::kEthernetHeaderSize));
+    ttl = ip ? ip->ttl : 0;
+  });
+  tb.host(0).sendUdp(tb.host(1).mac(), tb.host(1).ip(), 9000, 9000, {});
+  tb.sim().run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(ttl, 64);  // untouched
+}
+
+}  // namespace
+}  // namespace tpp::asic

@@ -1,0 +1,139 @@
+#include "src/workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/host/topology.hpp"
+
+namespace tpp::workload {
+namespace {
+
+using host::Testbed;
+
+struct StarFixture : public ::testing::Test {
+  Testbed tb;
+  void SetUp() override {
+    buildStar(tb, 4, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+  }
+  host::Host& receiver() { return tb.host(4); }
+};
+
+TEST_F(StarFixture, OnOffSenderAlternates) {
+  OnOffSender::Config cfg;
+  cfg.flow.dstMac = receiver().mac();
+  cfg.flow.dstIp = receiver().ip();
+  cfg.peakRateBps = 100e6;
+  cfg.meanOn = sim::Time::ms(2);
+  cfg.meanOff = sim::Time::ms(2);
+  OnOffSender sender(tb.host(0), cfg, sim::Rng(1));
+  sender.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(200));
+  sender.stop();
+  const double duty = 0.5;
+  const double expected = 100e6 * 0.2 * duty / 8.0;
+  // Wide tolerance: on/off holding times are random.
+  EXPECT_GT(static_cast<double>(sender.bytesSent()), expected * 0.4);
+  EXPECT_LT(static_cast<double>(sender.bytesSent()), expected * 1.6);
+}
+
+TEST_F(StarFixture, OnOffDeterministicAcrossRuns) {
+  auto run = [this](std::uint64_t seed) {
+    Testbed tb2;
+    buildStar(tb2, 4, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+    OnOffSender::Config cfg;
+    cfg.flow.dstMac = tb2.host(4).mac();
+    cfg.flow.dstIp = tb2.host(4).ip();
+    OnOffSender sender(tb2.host(0), cfg, sim::Rng(seed));
+    sender.start(sim::Time::zero());
+    tb2.sim().run(sim::Time::ms(100));
+    return sender.bytesSent();
+  };
+  EXPECT_EQ(run(7), run(7));
+  (void)tb;
+}
+
+TEST_F(StarFixture, IncastFiresAllSendersAtOnce) {
+  IncastBurst::Config cfg;
+  cfg.dstMac = receiver().mac();
+  cfg.dstIp = receiver().ip();
+  cfg.burstBytes = 50'000;
+  cfg.lineRateBps = 1e9;
+  IncastBurst burst({&tb.host(0), &tb.host(1), &tb.host(2), &tb.host(3)},
+                    cfg);
+  burst.start(sim::Time::ms(1));
+  tb.sim().run();
+  EXPECT_EQ(burst.burstsFired(), 1u);
+  // All four bursts arrive in full.
+  EXPECT_GE(receiver().bytesReceived(), 4u * 50'000u);
+}
+
+TEST_F(StarFixture, IncastBuildsQueueAtReceiverPort) {
+  IncastBurst::Config cfg;
+  cfg.dstMac = receiver().mac();
+  cfg.dstIp = receiver().ip();
+  cfg.burstBytes = 100'000;
+  IncastBurst burst({&tb.host(0), &tb.host(1), &tb.host(2), &tb.host(3)},
+                    cfg);
+  burst.start(sim::Time::zero());
+  // Sample the receiver-port queue while the burst is in flight.
+  std::uint64_t peak = 0;
+  for (int t = 0; t < 40; ++t) {
+    tb.sim().schedule(sim::Time::us(50 * t), [&] {
+      peak = std::max(peak, tb.sw(0).portQueueBytes(4));
+    });
+  }
+  tb.sim().run();
+  // 4:1 fan-in at equal rates must queue about 3/4 of the data.
+  EXPECT_GT(peak, 100'000u);
+}
+
+TEST_F(StarFixture, PeriodicIncastRepeats) {
+  IncastBurst::Config cfg;
+  cfg.dstMac = receiver().mac();
+  cfg.dstIp = receiver().ip();
+  cfg.burstBytes = 10'000;
+  cfg.period = sim::Time::ms(10);
+  IncastBurst burst({&tb.host(0), &tb.host(1)}, cfg);
+  burst.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(35));
+  EXPECT_EQ(burst.burstsFired(), 4u);  // t = 0, 10, 20, 30 ms
+}
+
+TEST_F(StarFixture, PoissonGeneratorOffersFlows) {
+  PoissonFlowGenerator::Config cfg;
+  cfg.dstMac = receiver().mac();
+  cfg.dstIp = receiver().ip();
+  cfg.flowsPerSecond = 500;
+  cfg.minFlowBytes = 2000;
+  cfg.maxFlowBytes = 20'000;
+  PoissonFlowGenerator gen({&tb.host(0), &tb.host(1), &tb.host(2)}, cfg,
+                           sim::Rng(5));
+  gen.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(100));
+  gen.stop();
+  tb.sim().run();
+  EXPECT_NEAR(static_cast<double>(gen.flowsStarted()), 50.0, 25.0);
+  EXPECT_GT(gen.bytesOffered(), 0u);
+  EXPECT_GT(receiver().bytesReceived(), gen.bytesOffered() / 2);
+}
+
+TEST_F(StarFixture, PoissonDeterministicBySeed) {
+  auto run = [this](std::uint64_t seed) {
+    Testbed tb2;
+    buildStar(tb2, 2, host::LinkParams{1'000'000'000, sim::Time::us(1)});
+    PoissonFlowGenerator::Config cfg;
+    cfg.dstMac = tb2.host(2).mac();
+    cfg.dstIp = tb2.host(2).ip();
+    cfg.flowsPerSecond = 300;
+    PoissonFlowGenerator gen({&tb2.host(0), &tb2.host(1)}, cfg,
+                             sim::Rng(seed));
+    gen.start(sim::Time::zero());
+    tb2.sim().run(sim::Time::ms(50));
+    return std::pair{gen.flowsStarted(), gen.bytesOffered()};
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+  (void)tb;
+}
+
+}  // namespace
+}  // namespace tpp::workload
