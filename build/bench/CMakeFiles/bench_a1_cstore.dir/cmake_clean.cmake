@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_cstore.dir/bench_a1_cstore.cpp.o"
+  "CMakeFiles/bench_a1_cstore.dir/bench_a1_cstore.cpp.o.d"
+  "bench_a1_cstore"
+  "bench_a1_cstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_cstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_congestion_baselines.dir/bench_a2_congestion_baselines.cpp.o"
+  "CMakeFiles/bench_a2_congestion_baselines.dir/bench_a2_congestion_baselines.cpp.o.d"
+  "bench_a2_congestion_baselines"
+  "bench_a2_congestion_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_congestion_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

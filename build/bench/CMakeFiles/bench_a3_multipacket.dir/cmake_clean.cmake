@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_multipacket.dir/bench_a3_multipacket.cpp.o"
+  "CMakeFiles/bench_a3_multipacket.dir/bench_a3_multipacket.cpp.o.d"
+  "bench_a3_multipacket"
+  "bench_a3_multipacket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_multipacket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

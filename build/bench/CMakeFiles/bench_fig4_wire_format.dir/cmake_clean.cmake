@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wire_format.dir/bench_fig4_wire_format.cpp.o"
+  "CMakeFiles/bench_fig4_wire_format.dir/bench_fig4_wire_format.cpp.o.d"
+  "bench_fig4_wire_format"
+  "bench_fig4_wire_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wire_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s21_microburst.dir/bench_s21_microburst.cpp.o"
+  "CMakeFiles/bench_s21_microburst.dir/bench_s21_microburst.cpp.o.d"
+  "bench_s21_microburst"
+  "bench_s21_microburst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s21_microburst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

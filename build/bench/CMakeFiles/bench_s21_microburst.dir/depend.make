@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_s21_microburst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s23_ndb.dir/bench_s23_ndb.cpp.o"
+  "CMakeFiles/bench_s23_ndb.dir/bench_s23_ndb.cpp.o.d"
+  "bench_s23_ndb"
+  "bench_s23_ndb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s23_ndb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

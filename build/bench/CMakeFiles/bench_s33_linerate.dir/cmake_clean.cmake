@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s33_linerate.dir/bench_s33_linerate.cpp.o"
+  "CMakeFiles/bench_s33_linerate.dir/bench_s33_linerate.cpp.o.d"
+  "bench_s33_linerate"
+  "bench_s33_linerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s33_linerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s4_visibility.dir/bench_s4_visibility.cpp.o"
+  "CMakeFiles/bench_s4_visibility.dir/bench_s4_visibility.cpp.o.d"
+  "bench_s4_visibility"
+  "bench_s4_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s4_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

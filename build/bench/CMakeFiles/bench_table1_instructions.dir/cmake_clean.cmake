@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_instructions.dir/bench_table1_instructions.cpp.o"
+  "CMakeFiles/bench_table1_instructions.dir/bench_table1_instructions.cpp.o.d"
+  "bench_table1_instructions"
+  "bench_table1_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_namespaces.dir/bench_table2_namespaces.cpp.o"
+  "CMakeFiles/bench_table2_namespaces.dir/bench_table2_namespaces.cpp.o.d"
+  "bench_table2_namespaces"
+  "bench_table2_namespaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_namespaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fattree_paths.cpp" "examples/CMakeFiles/fattree_paths.dir/fattree_paths.cpp.o" "gcc" "examples/CMakeFiles/fattree_paths.dir/fattree_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tpp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tpp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcp/CMakeFiles/tpp_rcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/tpp_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpu/CMakeFiles/tpp_tcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

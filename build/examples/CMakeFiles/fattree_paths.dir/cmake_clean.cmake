@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fattree_paths.dir/fattree_paths.cpp.o"
+  "CMakeFiles/fattree_paths.dir/fattree_paths.cpp.o.d"
+  "fattree_paths"
+  "fattree_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fattree_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microburst_monitor.dir/microburst_monitor.cpp.o"
+  "CMakeFiles/microburst_monitor.dir/microburst_monitor.cpp.o.d"
+  "microburst_monitor"
+  "microburst_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microburst_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndb_debugger.dir/ndb_debugger.cpp.o"
+  "CMakeFiles/ndb_debugger.dir/ndb_debugger.cpp.o.d"
+  "ndb_debugger"
+  "ndb_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndb_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

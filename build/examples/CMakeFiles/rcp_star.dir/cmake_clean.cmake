@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcp_star.dir/rcp_star.cpp.o"
+  "CMakeFiles/rcp_star.dir/rcp_star.cpp.o.d"
+  "rcp_star"
+  "rcp_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcp_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

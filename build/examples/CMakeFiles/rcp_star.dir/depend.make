@@ -1,0 +1,2 @@
+# Empty dependencies file for rcp_star.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tppasm.dir/tppasm.cpp.o"
+  "CMakeFiles/tppasm.dir/tppasm.cpp.o.d"
+  "tppasm"
+  "tppasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tppasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tppquery.dir/tppquery.cpp.o"
+  "CMakeFiles/tppquery.dir/tppquery.cpp.o.d"
+  "tppquery"
+  "tppquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tppquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

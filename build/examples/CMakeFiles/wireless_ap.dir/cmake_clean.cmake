@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_ap.dir/wireless_ap.cpp.o"
+  "CMakeFiles/wireless_ap.dir/wireless_ap.cpp.o.d"
+  "wireless_ap"
+  "wireless_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aggregate_limiter.cpp" "src/apps/CMakeFiles/tpp_apps.dir/aggregate_limiter.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/aggregate_limiter.cpp.o.d"
+  "/root/repo/src/apps/aimd.cpp" "src/apps/CMakeFiles/tpp_apps.dir/aimd.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/aimd.cpp.o.d"
+  "/root/repo/src/apps/dctcp.cpp" "src/apps/CMakeFiles/tpp_apps.dir/dctcp.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/dctcp.cpp.o.d"
+  "/root/repo/src/apps/latency_profiler.cpp" "src/apps/CMakeFiles/tpp_apps.dir/latency_profiler.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/latency_profiler.cpp.o.d"
+  "/root/repo/src/apps/mesh_prober.cpp" "src/apps/CMakeFiles/tpp_apps.dir/mesh_prober.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/mesh_prober.cpp.o.d"
+  "/root/repo/src/apps/microburst.cpp" "src/apps/CMakeFiles/tpp_apps.dir/microburst.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/microburst.cpp.o.d"
+  "/root/repo/src/apps/ndb.cpp" "src/apps/CMakeFiles/tpp_apps.dir/ndb.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/ndb.cpp.o.d"
+  "/root/repo/src/apps/rcpstar.cpp" "src/apps/CMakeFiles/tpp_apps.dir/rcpstar.cpp.o" "gcc" "src/apps/CMakeFiles/tpp_apps.dir/rcpstar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/tpp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcp/CMakeFiles/tpp_rcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/tpp_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpu/CMakeFiles/tpp_tcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_apps.dir/aggregate_limiter.cpp.o"
+  "CMakeFiles/tpp_apps.dir/aggregate_limiter.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/aimd.cpp.o"
+  "CMakeFiles/tpp_apps.dir/aimd.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/dctcp.cpp.o"
+  "CMakeFiles/tpp_apps.dir/dctcp.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/latency_profiler.cpp.o"
+  "CMakeFiles/tpp_apps.dir/latency_profiler.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/mesh_prober.cpp.o"
+  "CMakeFiles/tpp_apps.dir/mesh_prober.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/microburst.cpp.o"
+  "CMakeFiles/tpp_apps.dir/microburst.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/ndb.cpp.o"
+  "CMakeFiles/tpp_apps.dir/ndb.cpp.o.d"
+  "CMakeFiles/tpp_apps.dir/rcpstar.cpp.o"
+  "CMakeFiles/tpp_apps.dir/rcpstar.cpp.o.d"
+  "libtpp_apps.a"
+  "libtpp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/parser.cpp" "src/asic/CMakeFiles/tpp_asic.dir/parser.cpp.o" "gcc" "src/asic/CMakeFiles/tpp_asic.dir/parser.cpp.o.d"
+  "/root/repo/src/asic/queue.cpp" "src/asic/CMakeFiles/tpp_asic.dir/queue.cpp.o" "gcc" "src/asic/CMakeFiles/tpp_asic.dir/queue.cpp.o.d"
+  "/root/repo/src/asic/stats.cpp" "src/asic/CMakeFiles/tpp_asic.dir/stats.cpp.o" "gcc" "src/asic/CMakeFiles/tpp_asic.dir/stats.cpp.o.d"
+  "/root/repo/src/asic/switch.cpp" "src/asic/CMakeFiles/tpp_asic.dir/switch.cpp.o" "gcc" "src/asic/CMakeFiles/tpp_asic.dir/switch.cpp.o.d"
+  "/root/repo/src/asic/tables.cpp" "src/asic/CMakeFiles/tpp_asic.dir/tables.cpp.o" "gcc" "src/asic/CMakeFiles/tpp_asic.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpu/CMakeFiles/tpp_tcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

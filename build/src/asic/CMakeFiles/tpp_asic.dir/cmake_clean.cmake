@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_asic.dir/parser.cpp.o"
+  "CMakeFiles/tpp_asic.dir/parser.cpp.o.d"
+  "CMakeFiles/tpp_asic.dir/queue.cpp.o"
+  "CMakeFiles/tpp_asic.dir/queue.cpp.o.d"
+  "CMakeFiles/tpp_asic.dir/stats.cpp.o"
+  "CMakeFiles/tpp_asic.dir/stats.cpp.o.d"
+  "CMakeFiles/tpp_asic.dir/switch.cpp.o"
+  "CMakeFiles/tpp_asic.dir/switch.cpp.o.d"
+  "CMakeFiles/tpp_asic.dir/tables.cpp.o"
+  "CMakeFiles/tpp_asic.dir/tables.cpp.o.d"
+  "libtpp_asic.a"
+  "libtpp_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/tpp_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/assembler.cpp" "src/core/CMakeFiles/tpp_core.dir/assembler.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/core/edge_filter.cpp" "src/core/CMakeFiles/tpp_core.dir/edge_filter.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/edge_filter.cpp.o.d"
+  "/root/repo/src/core/header.cpp" "src/core/CMakeFiles/tpp_core.dir/header.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/header.cpp.o.d"
+  "/root/repo/src/core/isa.cpp" "src/core/CMakeFiles/tpp_core.dir/isa.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/isa.cpp.o.d"
+  "/root/repo/src/core/memory_map.cpp" "src/core/CMakeFiles/tpp_core.dir/memory_map.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/memory_map.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/tpp_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/tpp_core.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

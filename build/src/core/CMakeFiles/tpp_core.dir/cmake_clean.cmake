@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_core.dir/agent.cpp.o"
+  "CMakeFiles/tpp_core.dir/agent.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/assembler.cpp.o"
+  "CMakeFiles/tpp_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/edge_filter.cpp.o"
+  "CMakeFiles/tpp_core.dir/edge_filter.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/header.cpp.o"
+  "CMakeFiles/tpp_core.dir/header.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/isa.cpp.o"
+  "CMakeFiles/tpp_core.dir/isa.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/memory_map.cpp.o"
+  "CMakeFiles/tpp_core.dir/memory_map.cpp.o.d"
+  "CMakeFiles/tpp_core.dir/program.cpp.o"
+  "CMakeFiles/tpp_core.dir/program.cpp.o.d"
+  "libtpp_core.a"
+  "libtpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

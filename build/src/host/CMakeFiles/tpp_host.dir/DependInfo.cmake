@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/collector.cpp" "src/host/CMakeFiles/tpp_host.dir/collector.cpp.o" "gcc" "src/host/CMakeFiles/tpp_host.dir/collector.cpp.o.d"
+  "/root/repo/src/host/flow.cpp" "src/host/CMakeFiles/tpp_host.dir/flow.cpp.o" "gcc" "src/host/CMakeFiles/tpp_host.dir/flow.cpp.o.d"
+  "/root/repo/src/host/host.cpp" "src/host/CMakeFiles/tpp_host.dir/host.cpp.o" "gcc" "src/host/CMakeFiles/tpp_host.dir/host.cpp.o.d"
+  "/root/repo/src/host/topology.cpp" "src/host/CMakeFiles/tpp_host.dir/topology.cpp.o" "gcc" "src/host/CMakeFiles/tpp_host.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asic/CMakeFiles/tpp_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpu/CMakeFiles/tpp_tcpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_host.dir/collector.cpp.o"
+  "CMakeFiles/tpp_host.dir/collector.cpp.o.d"
+  "CMakeFiles/tpp_host.dir/flow.cpp.o"
+  "CMakeFiles/tpp_host.dir/flow.cpp.o.d"
+  "CMakeFiles/tpp_host.dir/host.cpp.o"
+  "CMakeFiles/tpp_host.dir/host.cpp.o.d"
+  "CMakeFiles/tpp_host.dir/topology.cpp.o"
+  "CMakeFiles/tpp_host.dir/topology.cpp.o.d"
+  "libtpp_host.a"
+  "libtpp_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

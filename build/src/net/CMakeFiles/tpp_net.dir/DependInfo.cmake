@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/tpp_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/tpp_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/tpp_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/tpp_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/tpp_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/tpp_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/mac_address.cpp" "src/net/CMakeFiles/tpp_net.dir/mac_address.cpp.o" "gcc" "src/net/CMakeFiles/tpp_net.dir/mac_address.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/tpp_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/tpp_net.dir/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

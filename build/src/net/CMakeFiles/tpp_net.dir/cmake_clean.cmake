@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_net.dir/ethernet.cpp.o"
+  "CMakeFiles/tpp_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/tpp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/tpp_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/tpp_net.dir/link.cpp.o"
+  "CMakeFiles/tpp_net.dir/link.cpp.o.d"
+  "CMakeFiles/tpp_net.dir/mac_address.cpp.o"
+  "CMakeFiles/tpp_net.dir/mac_address.cpp.o.d"
+  "CMakeFiles/tpp_net.dir/packet.cpp.o"
+  "CMakeFiles/tpp_net.dir/packet.cpp.o.d"
+  "libtpp_net.a"
+  "libtpp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

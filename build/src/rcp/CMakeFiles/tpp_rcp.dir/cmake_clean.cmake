@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_rcp.dir/rcp.cpp.o"
+  "CMakeFiles/tpp_rcp.dir/rcp.cpp.o.d"
+  "CMakeFiles/tpp_rcp.dir/rcp_router.cpp.o"
+  "CMakeFiles/tpp_rcp.dir/rcp_router.cpp.o.d"
+  "libtpp_rcp.a"
+  "libtpp_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

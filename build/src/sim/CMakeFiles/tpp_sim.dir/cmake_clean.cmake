@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tpp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tpp_sim.dir/log.cpp.o"
+  "CMakeFiles/tpp_sim.dir/log.cpp.o.d"
+  "CMakeFiles/tpp_sim.dir/random.cpp.o"
+  "CMakeFiles/tpp_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tpp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/tpp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/tpp_sim.dir/stats.cpp.o"
+  "CMakeFiles/tpp_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tpp_sim.dir/time.cpp.o"
+  "CMakeFiles/tpp_sim.dir/time.cpp.o.d"
+  "libtpp_sim.a"
+  "libtpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

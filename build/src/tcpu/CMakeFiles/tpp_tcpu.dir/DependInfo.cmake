@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpu/cycle_model.cpp" "src/tcpu/CMakeFiles/tpp_tcpu.dir/cycle_model.cpp.o" "gcc" "src/tcpu/CMakeFiles/tpp_tcpu.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/tcpu/tcpu.cpp" "src/tcpu/CMakeFiles/tpp_tcpu.dir/tcpu.cpp.o" "gcc" "src/tcpu/CMakeFiles/tpp_tcpu.dir/tcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_tcpu.dir/cycle_model.cpp.o"
+  "CMakeFiles/tpp_tcpu.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/tpp_tcpu.dir/tcpu.cpp.o"
+  "CMakeFiles/tpp_tcpu.dir/tcpu.cpp.o.d"
+  "libtpp_tcpu.a"
+  "libtpp_tcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_tcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_workload.dir/generators.cpp.o"
+  "CMakeFiles/tpp_workload.dir/generators.cpp.o.d"
+  "libtpp_workload.a"
+  "libtpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agent.cpp" "tests/CMakeFiles/tpp_tests.dir/test_agent.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_agent.cpp.o.d"
+  "/root/repo/tests/test_apps_aimd.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_aimd.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_aimd.cpp.o.d"
+  "/root/repo/tests/test_apps_dctcp.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_dctcp.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_dctcp.cpp.o.d"
+  "/root/repo/tests/test_apps_latency.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_latency.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_latency.cpp.o.d"
+  "/root/repo/tests/test_apps_limiter.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_limiter.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_limiter.cpp.o.d"
+  "/root/repo/tests/test_apps_mesh.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_mesh.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_mesh.cpp.o.d"
+  "/root/repo/tests/test_apps_microburst.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_microburst.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_microburst.cpp.o.d"
+  "/root/repo/tests/test_apps_ndb.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_ndb.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_ndb.cpp.o.d"
+  "/root/repo/tests/test_apps_rcpstar.cpp" "tests/CMakeFiles/tpp_tests.dir/test_apps_rcpstar.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_apps_rcpstar.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/tpp_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/tpp_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_collector.cpp" "tests/CMakeFiles/tpp_tests.dir/test_collector.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_collector.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/tpp_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_ecn.cpp" "tests/CMakeFiles/tpp_tests.dir/test_ecn.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_ecn.cpp.o.d"
+  "/root/repo/tests/test_edge_filter.cpp" "tests/CMakeFiles/tpp_tests.dir/test_edge_filter.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_edge_filter.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/tpp_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_fattree.cpp" "tests/CMakeFiles/tpp_tests.dir/test_fattree.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_fattree.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/tpp_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tpp_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_header.cpp" "tests/CMakeFiles/tpp_tests.dir/test_header.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_header.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/tpp_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_integration_multitask.cpp" "tests/CMakeFiles/tpp_tests.dir/test_integration_multitask.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_integration_multitask.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/tpp_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/tpp_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_memory_map.cpp" "tests/CMakeFiles/tpp_tests.dir/test_memory_map.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_memory_map.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/tpp_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_paper_listings.cpp" "tests/CMakeFiles/tpp_tests.dir/test_paper_listings.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_paper_listings.cpp.o.d"
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/tpp_tests.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_program.cpp.o.d"
+  "/root/repo/tests/test_queue.cpp" "tests/CMakeFiles/tpp_tests.dir/test_queue.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_queue.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/tpp_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_rcp.cpp" "tests/CMakeFiles/tpp_tests.dir/test_rcp.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_rcp.cpp.o.d"
+  "/root/repo/tests/test_rcp_router.cpp" "tests/CMakeFiles/tpp_tests.dir/test_rcp_router.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_rcp_router.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/tpp_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/tpp_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/tpp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_switch.cpp" "tests/CMakeFiles/tpp_tests.dir/test_switch.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_switch.cpp.o.d"
+  "/root/repo/tests/test_switch_registers.cpp" "tests/CMakeFiles/tpp_tests.dir/test_switch_registers.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_switch_registers.cpp.o.d"
+  "/root/repo/tests/test_tables.cpp" "tests/CMakeFiles/tpp_tests.dir/test_tables.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_tables.cpp.o.d"
+  "/root/repo/tests/test_tcpu.cpp" "tests/CMakeFiles/tpp_tests.dir/test_tcpu.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_tcpu.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/tpp_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/tpp_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_ttl.cpp" "tests/CMakeFiles/tpp_tests.dir/test_ttl.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_ttl.cpp.o.d"
+  "/root/repo/tests/test_wireless.cpp" "tests/CMakeFiles/tpp_tests.dir/test_wireless.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_wireless.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/tpp_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/tpp_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tpp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tpp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcp/CMakeFiles/tpp_rcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/tpp_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpu/CMakeFiles/tpp_tcpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
