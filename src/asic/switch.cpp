@@ -207,10 +207,10 @@ void Switch::receive(net::PacketPtr packet, std::size_t port) {
   }
 
   if (config_.pipelineDelay > sim::Time::zero()) {
-    auto carried = std::make_shared<net::PacketPtr>(std::move(packet));
-    sim_.schedule(config_.pipelineDelay, [this, carried, port] {
-      forwardAndEnqueue(std::move(*carried), port);
-    });
+    sim_.schedule(config_.pipelineDelay,
+                  [this, p = std::move(packet), port]() mutable {
+                    forwardAndEnqueue(std::move(p), port);
+                  });
   } else {
     forwardAndEnqueue(std::move(packet), port);
   }

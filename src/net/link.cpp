@@ -12,14 +12,14 @@ sim::Time Channel::transmit(PacketPtr packet) {
   const sim::Time end = start + sim::transmissionTime(wireBytes, rateBps_);
   busyUntil_ = end;
   const std::size_t payloadBytes = packet->size();
-  // Deliver after serialization + propagation. The shared_ptr shim lets the
-  // move-only packet ride inside a std::function.
-  auto carried = std::make_shared<PacketPtr>(std::move(packet));
-  sim_.scheduleAt(end + propDelay_, [this, carried, payloadBytes] {
-    ++delivered_;
-    bytesDelivered_ += payloadBytes;
-    rx_->receive(std::move(*carried), rxPort_);
-  });
+  // Deliver after serialization + propagation. EventFn is move-aware, so
+  // the packet rides in the closure directly — no heap shim.
+  sim_.scheduleAt(end + propDelay_,
+                  [this, p = std::move(packet), payloadBytes]() mutable {
+                    ++delivered_;
+                    bytesDelivered_ += payloadBytes;
+                    rx_->receive(std::move(p), rxPort_);
+                  });
   return end;
 }
 

@@ -31,21 +31,38 @@ struct PacketMeta {
 };
 
 class Packet;
-using PacketPtr = std::unique_ptr<Packet>;
+
+// Returns the packet to the freelist pool (or frees it when the pool is
+// full). The deleter is stateless, so PacketPtr stays pointer-sized.
+struct PacketDeleter {
+  void operator()(Packet* packet) const noexcept;
+};
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 class Packet {
  public:
   explicit Packet(std::vector<std::uint8_t> bytes)
       : bytes_(std::move(bytes)), id_(nextId()++) {}
 
-  static PacketPtr make(std::vector<std::uint8_t> bytes) {
-    return std::make_unique<Packet>(std::move(bytes));
-  }
-  static PacketPtr make(std::size_t size, std::uint8_t fill = 0) {
-    return std::make_unique<Packet>(std::vector<std::uint8_t>(size, fill));
-  }
+  // make() and clone() draw from a freelist pool: a recycled Packet keeps
+  // its byte buffer's capacity, so steady-state traffic allocates nothing.
+  // A reused packet is indistinguishable from a new one — fresh id, zeroed
+  // metadata/bookkeeping, buffer contents fully overwritten. The pool is
+  // process-global and not thread-safe, like the simulator itself.
+  static PacketPtr make(std::vector<std::uint8_t> bytes);
+  static PacketPtr make(std::size_t size, std::uint8_t fill = 0);
 
   PacketPtr clone() const;
+
+  struct PoolStats {
+    std::uint64_t reused = 0;    // make/clone served from the pool
+    std::uint64_t allocated = 0; // make/clone that hit the heap
+    std::uint64_t recycled = 0;  // deletions captured by the pool
+    std::uint64_t freed = 0;     // deletions past the pool's capacity
+  };
+  static PoolStats poolStats();
+  // Frees every pooled packet (tests that count live allocations).
+  static void drainPool();
 
   std::vector<std::uint8_t>& bytes() { return bytes_; }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
@@ -67,7 +84,11 @@ class Packet {
   std::string hexdump(std::size_t maxBytes = 128) const;
 
  private:
+  friend struct PacketDeleter;
   static std::uint64_t& nextId();
+  // Makes a recycled packet fresh: new id, default metadata/bookkeeping.
+  void reinitForReuse();
+  static Packet* acquirePooled();  // nullptr when the pool is empty
 
   std::vector<std::uint8_t> bytes_;
   PacketMeta meta_;

@@ -1,0 +1,113 @@
+// EventFn: the simulator's callback type — a move-only callable holder
+// with inline storage.
+//
+// std::function heap-allocates any capture larger than two pointers and
+// requires copyability, which forced hot paths to shim move-only payloads
+// (PacketPtr) through a shared_ptr. EventFn instead keeps kInlineBytes of
+// inline storage — enough for every dataplane lambda (a `this`, a packet,
+// a couple of scalars) — and accepts move-only callables directly. Captures
+// that exceed the inline buffer still work via a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tpp::sim {
+
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable sink
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { moveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->call(storage_); }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    // Move-constructs dst from src and destroys src.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fitsInline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inlineObj(void* p) {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+  template <typename D>
+  static D*& heapObj(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*inlineObj<D>(p))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D(std::move(*inlineObj<D>(src)));
+        inlineObj<D>(src)->~D();
+      },
+      [](void* p) noexcept { inlineObj<D>(p)->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (*heapObj<D>(p))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(heapObj<D>(src));
+      },
+      [](void* p) noexcept { delete heapObj<D>(p); }};
+
+  void moveFrom(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tpp::sim

@@ -5,13 +5,28 @@
 namespace tpp::sim {
 
 EventHandle EventQueue::push(Time at, EventFn fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  heap_.push(Entry{at, nextSeq_++, std::move(fn), cancelled});
-  return EventHandle{std::move(cancelled)};
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_.push(Entry{at, nextSeq_++, slot, gen});
+  return EventHandle{this, slot, gen};
+}
+
+void EventQueue::retireSlot(std::uint32_t slot) {
+  slots_[slot].fn = EventFn{};
+  ++slots_[slot].gen;
+  freeSlots_.push_back(slot);
 }
 
 void EventQueue::dropCancelledHead() {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  while (!heap_.empty() && !liveEntry(heap_.top())) heap_.pop();
 }
 
 bool EventQueue::empty() {
@@ -28,12 +43,11 @@ Time EventQueue::nextTime() {
 std::optional<EventQueue::Fired> EventQueue::tryPop() {
   dropCancelledHead();
   if (heap_.empty()) return std::nullopt;
-  // priority_queue::top() is const; moving out is safe because we pop
-  // immediately and never touch the moved-from entry again.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  const Entry e = heap_.top();
   heap_.pop();
-  *e.cancelled = true;  // consumed: handles report !pending()
-  return Fired{e.at, std::move(e.fn)};
+  Fired fired{e.at, std::move(slots_[e.slot].fn)};
+  retireSlot(e.slot);  // consumed: handles report !pending()
+  return fired;
 }
 
 }  // namespace tpp::sim

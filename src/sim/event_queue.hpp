@@ -1,33 +1,47 @@
 // A deterministic event queue: events fire in (time, insertion-sequence)
 // order, so two events scheduled for the same instant run in the order they
 // were scheduled, independent of heap internals.
+//
+// Storage is a slab of generation-counted slots: the binary heap holds only
+// POD entries (time, sequence, slot, generation) while callbacks live in
+// the slab, and an EventHandle is (queue, slot, generation). Cancelling
+// bumps the slot's generation, which simultaneously invalidates the heap
+// entry (lazily dropped when it reaches the head) and every copy of the
+// handle — no per-event shared_ptr control block, and with EventFn's inline
+// storage no per-event heap allocation at all for typical captures.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
+#include "src/sim/event_fn.hpp"
 #include "src/sim/time.hpp"
 
 namespace tpp::sim {
 
-using EventFn = std::function<void()>;
+class EventQueue;
 
-// Handle for cancelling a pending event. Copyable; cancelling twice is a
-// no-op, as is cancelling an event that already fired.
+// Handle for cancelling a pending event. Copyable; copies share the
+// cancellation (they name the same slot + generation). Cancelling twice is
+// a no-op, as is cancelling an event that already fired. A non-default
+// handle must not be used after its EventQueue is destroyed (in this
+// codebase handles live in components that die before their Simulator).
 class EventHandle {
  public:
   EventHandle() = default;
-  void cancel() { if (cancelled_) *cancelled_ = true; }
-  bool pending() const { return cancelled_ && !*cancelled_; }
+  void cancel();
+  bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> c) : cancelled_(std::move(c)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
@@ -50,11 +64,17 @@ class EventQueue {
   std::optional<Fired> tryPop();
 
  private:
+  friend class EventHandle;
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;  // bumped on fire/cancel; mismatch = dead entry
+  };
   struct Entry {
     Time at;
     std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -62,10 +82,32 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+
+  bool liveEntry(const Entry& e) const { return slots_[e.slot].gen == e.gen; }
+  // Destroys the slot's callback, bumps its generation and recycles it.
+  void retireSlot(std::uint32_t slot);
   void dropCancelledHead();
 
+  // EventHandle backends.
+  bool slotPending(std::uint32_t slot, std::uint32_t gen) const {
+    return slots_[slot].gen == gen;
+  }
+  void cancelSlot(std::uint32_t slot, std::uint32_t gen) {
+    if (slots_[slot].gen == gen) retireSlot(slot);
+  }
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
   std::uint64_t nextSeq_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_ != nullptr) queue_->cancelSlot(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slotPending(slot_, gen_);
+}
 
 }  // namespace tpp::sim

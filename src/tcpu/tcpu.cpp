@@ -21,11 +21,44 @@ std::optional<std::size_t> Tcpu::effectiveIndex(const TppView& view,
   return pmemOff;
 }
 
+const Tcpu::CachedProgram& Tcpu::decodeProgram(const TppView& view,
+                                               std::size_t instrWords) {
+  fetchScratch_.resize(instrWords);
+  for (std::size_t i = 0; i < instrWords; ++i) {
+    fetchScratch_[i] = view.instructionWord(i);
+  }
+  // FNV-1a over the instruction words picks the direct-mapped slot.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint32_t w : fetchScratch_) {
+    h = (h ^ w) * 1099511628211ULL;
+  }
+  if (decodeCache_.empty()) decodeCache_.resize(kDecodeCacheSlots);
+  auto& entry = decodeCache_[h & (kDecodeCacheSlots - 1)];
+  if (entry.words == fetchScratch_) {
+    ++decodeHits_;
+    return entry;
+  }
+  ++decodeMisses_;
+  entry.words = fetchScratch_;
+  entry.decoded.clear();
+  entry.bad = false;
+  for (const std::uint32_t w : entry.words) {
+    const auto ins = Instruction::decode(w);
+    if (!ins) {
+      entry.bad = true;
+      break;
+    }
+    entry.decoded.push_back(*ins);
+  }
+  return entry;
+}
+
 ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
   ExecReport report;
   ++tpps_;
   const std::uint16_t taskId = view.taskId();
   const std::size_t n = view.instrWords();
+  const CachedProgram& program = decodeProgram(view, n);
 
   auto fault = [&](Fault f) {
     view.setFault(f);
@@ -35,11 +68,13 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
 
   std::size_t i = 0;
   for (; i < n; ++i) {
-    const auto ins = Instruction::decode(view.instructionWord(i));
-    if (!ins) {
+    // An undecodable word faults only when execution reaches it, exactly
+    // as lazy per-word decoding behaved.
+    if (i >= program.decoded.size()) {
       fault(Fault::BadInstruction);
       break;
     }
+    const auto& ins = program.decoded[i];
 
     // Reads a mode-addressed pmem word, faulting on overflow.
     auto pmemAt = [&](std::size_t idx) -> std::optional<std::uint32_t> {
@@ -76,13 +111,13 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
     };
 
     bool done = false;
-    switch (ins->op) {
+    switch (ins.op) {
       case Opcode::Nop:
         break;
       case Opcode::Push: {
         const std::uint16_t sp = view.stackPointer();
         const std::size_t idx = sp / kWordSize;
-        const auto v = readSwitch(ins->addr);
+        const auto v = readSwitch(ins.addr);
         if (!v || !pmemSet(idx, *v)) {
           done = true;
           break;
@@ -99,7 +134,7 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
         }
         const std::size_t idx = sp / kWordSize - 1;
         const auto v = pmemAt(idx);
-        if (!v || !writeSwitch(ins->addr, *v)) {
+        if (!v || !writeSwitch(ins.addr, *v)) {
           done = true;
           break;
         }
@@ -107,50 +142,50 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
         break;
       }
       case Opcode::Load: {
-        const auto idx = effectiveIndex(view, ins->pmemOff);
-        const auto v = readSwitch(ins->addr);
+        const auto idx = effectiveIndex(view, ins.pmemOff);
+        const auto v = readSwitch(ins.addr);
         if (!v || !pmemSet(*idx, *v)) done = true;
         break;
       }
       case Opcode::Store: {
-        const auto idx = effectiveIndex(view, ins->pmemOff);
+        const auto idx = effectiveIndex(view, ins.pmemOff);
         const auto v = pmemAt(*idx);
-        if (!v || !writeSwitch(ins->addr, *v)) done = true;
+        if (!v || !writeSwitch(ins.addr, *v)) done = true;
         break;
       }
       case Opcode::Cstore: {
         // CSTORE dst,cond,src: linearizable compare-and-swap (§2.2).
         // Operand words are ALWAYS absolute indices — they live in the
         // immediate region the end-host initialized, independent of hop.
-        const auto cond = pmemAt(ins->pmemOff);
-        const auto src = pmemAt(ins->pmemOff + 1u);
+        const auto cond = pmemAt(ins.pmemOff);
+        const auto src = pmemAt(ins.pmemOff + 1u);
         if (!cond || !src) {
           done = true;
           break;
         }
-        const auto old = readSwitch(ins->addr);
+        const auto old = readSwitch(ins.addr);
         if (!old) {
           done = true;
           break;
         }
-        if (*old == *cond && !writeSwitch(ins->addr, *src)) {
+        if (*old == *cond && !writeSwitch(ins.addr, *src)) {
           done = true;
           break;
         }
         // Report the observed value so the end-host can tell whether the
         // swap took effect (pmem[off] == cond ⇒ success).
-        if (!pmemSet(ins->pmemOff, *old)) done = true;
+        if (!pmemSet(ins.pmemOff, *old)) done = true;
         break;
       }
       case Opcode::Cexec: {
         // Execute the REST of the program only if (reg & mask) == value.
-        const auto mask = pmemAt(ins->pmemOff);
-        const auto value = pmemAt(ins->pmemOff + 1u);
+        const auto mask = pmemAt(ins.pmemOff);
+        const auto value = pmemAt(ins.pmemOff + 1u);
         if (!mask || !value) {
           done = true;
           break;
         }
-        const auto reg = readSwitch(ins->addr);
+        const auto reg = readSwitch(ins.addr);
         if (!reg) {
           done = true;
           break;
@@ -167,15 +202,15 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
       case Opcode::Sub:
       case Opcode::Min:
       case Opcode::Max: {
-        const auto idx = effectiveIndex(view, ins->pmemOff);
+        const auto idx = effectiveIndex(view, ins.pmemOff);
         const auto cur = pmemAt(*idx);
-        const auto v = readSwitch(ins->addr);
+        const auto v = readSwitch(ins.addr);
         if (!cur || !v) {
           done = true;
           break;
         }
         std::uint32_t result = 0;
-        switch (ins->op) {
+        switch (ins.op) {
           case Opcode::Add: result = *cur + *v; break;
           case Opcode::Sub: result = *cur - *v; break;
           case Opcode::Min: result = std::min(*cur, *v); break;

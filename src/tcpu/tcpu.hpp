@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "src/core/header.hpp"
 #include "src/core/isa.hpp"
@@ -63,16 +64,37 @@ class Tcpu {
   std::uint64_t tppsProcessed() const { return tpps_; }
   std::uint64_t instructionsExecuted() const { return instructions_; }
   std::uint64_t faults() const { return faults_; }
+  std::uint64_t decodeCacheHits() const { return decodeHits_; }
+  std::uint64_t decodeCacheMisses() const { return decodeMisses_; }
 
  private:
   // Effective packet-memory word index for a mode-addressed operand.
   static std::optional<std::size_t> effectiveIndex(const core::TppView& view,
                                                    std::uint8_t pmemOff);
 
+  // Decoded-program cache. A TPP's instruction words are immutable in
+  // flight (only its header and packet memory mutate per hop), and a
+  // monitoring task sends the same program every probe — so each switch
+  // decodes a program once and replays the decoded form on later packets.
+  // Direct-mapped by a hash of the raw words; a hit is verified by full
+  // word comparison, so collisions cost a re-decode, never wrong code.
+  struct CachedProgram {
+    std::vector<std::uint32_t> words;
+    std::vector<core::Instruction> decoded;  // valid prefix of the program
+    bool bad = false;  // words[decoded.size()] failed to decode
+  };
+  static constexpr std::size_t kDecodeCacheSlots = 64;  // power of two
+  const CachedProgram& decodeProgram(const core::TppView& view,
+                                     std::size_t instrWords);
+
   CycleModel model_;
+  std::vector<CachedProgram> decodeCache_;
+  std::vector<std::uint32_t> fetchScratch_;
   std::uint64_t tpps_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t faults_ = 0;
+  std::uint64_t decodeHits_ = 0;
+  std::uint64_t decodeMisses_ = 0;
 };
 
 }  // namespace tpp::tcpu

@@ -103,5 +103,126 @@ TEST(EventQueue, InterleavedPushPop) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+// ------------------------------------------------ cancellation edge cases
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  auto fired = q.tryPop();
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // fired already: must not disturb later pushes
+  bool ran = false;
+  q.push(Time::ms(2), [&] { ran = true; });
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, DoubleCancelLeavesSiblingsAlive) {
+  EventQueue q;
+  auto victim = q.push(Time::ms(1), [] {});
+  bool ran = false;
+  q.push(Time::ms(1), [&] { ran = true; });
+  victim.cancel();
+  victim.cancel();  // second cancel must not hit the sibling
+  EXPECT_FALSE(victim.pending());
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelSameTimestampSiblingMidDispatch) {
+  // a, b, c all at t=5ms; a's callback cancels c while the dispatch loop is
+  // mid-flight through that timestamp. Only a and b may run.
+  EventQueue q;
+  std::vector<char> order;
+  EventHandle hc;
+  q.push(Time::ms(5), [&] {
+    order.push_back('a');
+    hc.cancel();
+  });
+  q.push(Time::ms(5), [&] { order.push_back('b'); });
+  hc = q.push(Time::ms(5), [&] { order.push_back('c'); });
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+  EXPECT_FALSE(hc.pending());
+}
+
+TEST(EventQueue, CancelEarlierSiblingMidDispatchIsNoop) {
+  // The handle being cancelled already fired earlier in the same timestamp.
+  EventQueue q;
+  std::vector<char> order;
+  EventHandle ha = q.push(Time::ms(5), [&] { order.push_back('a'); });
+  q.push(Time::ms(5), [&] {
+    order.push_back('b');
+    ha.cancel();  // a already ran: no-op
+  });
+  q.push(Time::ms(5), [&] { order.push_back('c'); });
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c'}));
+}
+
+TEST(EventQueue, EmptyPurgesCancelledHeads) {
+  EventQueue q;
+  std::vector<EventHandle> heads;
+  for (int i = 0; i < 4; ++i) {
+    heads.push_back(q.push(Time::ms(i), [] {}));
+  }
+  q.push(Time::ms(10), [] {});
+  for (auto& h : heads) h.cancel();
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_FALSE(q.empty());  // live tail remains...
+  EXPECT_EQ(q.size(), 1u);  // ...but the cancelled heads were purged
+  EXPECT_EQ(q.nextTime(), Time::ms(10));
+}
+
+TEST(EventQueue, CopiedHandlesShareCancellation) {
+  EventQueue q;
+  auto h1 = q.push(Time::ms(1), [] {});
+  EventHandle h2 = h1;
+  h1.cancel();
+  EXPECT_FALSE(h2.pending());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelLaterEvent) {
+  // A handle whose event was cancelled (or fired) must stay inert even
+  // after the queue's internal storage is reused by later pushes.
+  EventQueue q;
+  auto h1 = q.push(Time::ms(1), [] {});
+  h1.cancel();
+  EXPECT_TRUE(q.empty());
+  std::vector<EventHandle> later;
+  bool ran = false;
+  for (int i = 0; i < 8; ++i) {
+    later.push_back(q.push(Time::ms(i + 1), [&] { ran = true; }));
+  }
+  h1.cancel();  // stale: must not kill any of the new events
+  EXPECT_FALSE(h1.pending());
+  for (auto& h : later) EXPECT_TRUE(h.pending());
+  std::size_t fired = 0;
+  while (auto f = q.tryPop()) {
+    f->fn();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 8u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ManyChurningCancellations) {
+  // Interleaved push/cancel/pop across many rounds: live events always
+  // fire, cancelled ones never do, regardless of internal slot reuse.
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    auto keep = q.push(Time::ms(round), [&] { ++fired; });
+    auto kill = q.push(Time::ms(round), [&] { ADD_FAILURE(); });
+    kill.cancel();
+    EXPECT_TRUE(keep.pending());
+    EXPECT_FALSE(kill.pending());
+  }
+  while (auto f = q.tryPop()) f->fn();
+  EXPECT_EQ(fired, 100);
+}
+
 }  // namespace
 }  // namespace tpp::sim

@@ -71,5 +71,79 @@ TEST(Packet, SpanViewsSameStorage) {
   EXPECT_EQ(p->bytes()[0], 0x42);
 }
 
+// --------------------------------------------------------- freelist pool
+
+TEST(PacketPool, ReusedPacketIsIndistinguishableFromNew) {
+  auto p = Packet::make(64, 0xee);
+  p->meta().inputPort = 9;
+  p->meta().matchedEntryId = 0xdead;
+  p->flowId = 1234;
+  p->createdAt = sim::Time::ms(7);
+  const auto oldId = p->id();
+  p.reset();  // returns to the pool
+
+  const auto before = Packet::poolStats();
+  auto q = Packet::make(8, 0x55);
+  const auto after = Packet::poolStats();
+  EXPECT_EQ(after.reused, before.reused + 1);  // served from the pool
+
+  // Fresh identity and bookkeeping, fully overwritten bytes.
+  EXPECT_NE(q->id(), oldId);
+  EXPECT_EQ(q->meta().inputPort, 0u);
+  EXPECT_EQ(q->meta().matchedEntryId, 0u);
+  EXPECT_EQ(q->flowId, 0u);
+  EXPECT_EQ(q->createdAt, sim::Time::zero());
+  ASSERT_EQ(q->size(), 8u);
+  for (const auto b : q->bytes()) EXPECT_EQ(b, 0x55);
+}
+
+TEST(PacketPool, RecycledIdsStayUnique) {
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto p = Packet::make(16);
+    EXPECT_NE(p->id(), last);
+    last = p->id();
+  }
+}
+
+TEST(PacketPool, CloneSharesNoBytesWithRecycledSource) {
+  auto p = Packet::make(32, 0x10);
+  auto c = p->clone();
+  const auto* cloneData = c->bytes().data();
+  p.reset();  // source goes back to the pool...
+  auto q = Packet::make(32, 0x99);  // ...and comes out again here
+  for (const auto b : c->bytes()) EXPECT_EQ(b, 0x10);  // clone untouched
+  q->bytes()[0] = 0x77;
+  EXPECT_EQ(c->bytes()[0], 0x10);
+  EXPECT_NE(q->bytes().data(), cloneData);
+}
+
+TEST(PacketPool, CloneOfRecycledPacketResetsNothingItShould) {
+  // clone() must copy meta/bookkeeping from its source even when both the
+  // clone and the source went through the pool.
+  auto a = Packet::make(16, 0x01);
+  a.reset();
+  auto b = Packet::make(24, 0x02);
+  b->meta().outputPort = 5;
+  b->flowId = 42;
+  b->createdAt = sim::Time::us(3);
+  auto c = b->clone();
+  EXPECT_EQ(c->bytes(), b->bytes());
+  EXPECT_EQ(c->meta().outputPort, 5u);
+  EXPECT_EQ(c->flowId, 42u);
+  EXPECT_EQ(c->createdAt, sim::Time::us(3));
+  EXPECT_NE(c->id(), b->id());
+}
+
+TEST(PacketPool, DrainPoolEmptiesFreelist) {
+  Packet::make(16).reset();
+  Packet::drainPool();
+  const auto before = Packet::poolStats();
+  auto p = Packet::make(16);
+  const auto after = Packet::poolStats();
+  EXPECT_EQ(after.allocated, before.allocated + 1);  // pool was empty
+  EXPECT_EQ(after.reused, before.reused);
+}
+
 }  // namespace
 }  // namespace tpp::net

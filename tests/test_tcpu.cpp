@@ -427,5 +427,66 @@ TEST(Tcpu, ReportsCycles) {
   EXPECT_EQ(tcpu.execute(*h.view, mem).cycles, 8u);
 }
 
+TEST(Tcpu, DecodeCacheHitsOnRepeatedProgram) {
+  // Same program at every hop (the Fig 1 pattern): one decode, then hits.
+  ProgramBuilder b;
+  b.push(0xb000);
+  b.reserve(8);
+  Harness h(*b.build());
+  FakeMemory mem;
+  mem.words[0xb000] = 1;
+  Tcpu tcpu;
+  for (int hop = 0; hop < 5; ++hop) tcpu.execute(*h.view, mem);
+  EXPECT_EQ(tcpu.decodeCacheMisses(), 1u);
+  EXPECT_EQ(tcpu.decodeCacheHits(), 4u);
+}
+
+TEST(Tcpu, DecodeCacheDistinguishesPrograms) {
+  // Two different programs must not alias to each other's decoded form.
+  ProgramBuilder b1;
+  b1.push(0xb000);
+  b1.reserve(4);
+  ProgramBuilder b2;
+  b2.load(0xc000, 0);
+  b2.reserve(4);
+  Harness h1(*b1.build());
+  Harness h2(*b2.build());
+  FakeMemory mem;
+  mem.words[0xb000] = 0x11;
+  mem.words[0xc000] = 0x22;
+  Tcpu tcpu;
+  tcpu.execute(*h1.view, mem);
+  tcpu.execute(*h2.view, mem);
+  tcpu.execute(*h1.view, mem);
+  EXPECT_EQ(h1.view->pmemWord(0), 0x11u);  // PUSH result, hop 0
+  EXPECT_EQ(h1.view->pmemWord(1), 0x11u);  // PUSH result, hop 2
+  EXPECT_EQ(h2.view->pmemWord(0), 0x22u);  // LOAD result
+}
+
+TEST(Tcpu, BadInstructionFaultsOnlyWhenReached) {
+  // An undecodable word past a failed CEXEC predicate must not fault —
+  // caching whole programs may not change lazy-decode semantics.
+  ProgramBuilder b;
+  b.cexec(0x1000, 0xffffffff, 0x0);  // predicate false: reg is 5
+  b.reserve(8);
+  auto program = *b.build();
+  program.instructions.push_back(
+      {static_cast<core::Opcode>(0x7f), 0, 0});  // undecodable
+  Harness h(program);
+  FakeMemory mem;
+  mem.words[0x1000] = 5;
+  Tcpu tcpu;
+  const auto report = tcpu.execute(*h.view, mem);
+  EXPECT_EQ(report.fault, core::Fault::None);
+  EXPECT_TRUE(report.cexecSkipped);
+
+  // Rewind the hop counter and make the predicate pass: now execution
+  // reaches the bad word and must fault.
+  h.view->setHopNumber(0);
+  mem.words[0x1000] = 0;
+  const auto report2 = tcpu.execute(*h.view, mem);
+  EXPECT_EQ(report2.fault, core::Fault::BadInstruction);
+}
+
 }  // namespace
 }  // namespace tpp::tcpu
