@@ -25,7 +25,10 @@
 #include <vector>
 
 #include "src/apps/microburst.hpp"
+#include "src/apps/ndb.hpp"
+#include "src/apps/rcpstar.hpp"
 #include "src/core/program.hpp"
+#include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 #include "src/host/topology.hpp"
 #include "src/net/link.hpp"
@@ -294,7 +297,35 @@ std::vector<Metric> benchTcpuOpcodes() {
 }
 
 // ------------------------------------------------------------------------
-// 5. End-to-end: packets/sec across a 3-switch chain
+// 5. Static verifier: full verify() over the canonical app programs — the
+// cost an end-host agent pays per program before injection.
+// ------------------------------------------------------------------------
+
+Metric benchVerifyProgram(const std::string& name,
+                          const core::Program& program) {
+  const core::VerifyOptions opts{.maxHops = 8};
+  return measure(name, 200'000, [&](std::uint64_t n) {
+    std::size_t errors = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      errors += core::verify(program, core::MemoryMap::standard(), opts).errors;
+    }
+    if (errors != 0) std::abort();  // app programs verify clean
+  });
+}
+
+std::vector<Metric> benchVerify() {
+  std::vector<Metric> out;
+  out.push_back(benchVerifyProgram(
+      "verify_rcp_collect", apps::makeRcpCollectProgram(8)));
+  out.push_back(benchVerifyProgram(
+      "verify_ndb_trace", apps::makeTraceProgram(8)));
+  out.push_back(benchVerifyProgram(
+      "verify_microburst", apps::makeQueueProbeProgram(8)));
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// 6. End-to-end: packets/sec across a 3-switch chain
 // ------------------------------------------------------------------------
 
 Metric benchChainUdp() {
@@ -378,6 +409,7 @@ int main(int argc, char** argv) {
   metrics.push_back(benchPacketClone());
   metrics.push_back(benchLinkTransit());
   for (auto& m : benchTcpuOpcodes()) metrics.push_back(std::move(m));
+  for (auto& m : benchVerify()) metrics.push_back(std::move(m));
   metrics.push_back(benchChainUdp());
   metrics.push_back(benchChainTppProbes());
   writeJson(out, metrics);

@@ -1,0 +1,4 @@
+# Rejected by [address-range]: CSTORE consumes two adjacent packet-memory
+# words, but [Packet:1] is outside the 1-word packet memory.
+.pmem 1
+CSTORE [Sram:Word0], [Packet:0], [Packet:1]

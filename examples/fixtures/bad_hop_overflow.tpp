@@ -1,0 +1,8 @@
+# Rejected by [stack-growth]: 2-word hop records over the default 8-hop
+# budget need 16 words; .pmem 6 holds only three records, so hop 3's
+# record faults HopOverflow.
+.mode hop
+.perhop 2
+.pmem 6
+LOAD [Switch:SwitchID], [Packet:hop[0]]
+LOAD [Queue:QueueSize], [Packet:hop[1]]

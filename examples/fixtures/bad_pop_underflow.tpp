@@ -1,0 +1,4 @@
+# Rejected by [stack-growth]: POP with an empty stack underflows the
+# stack pointer on the first hop (faults PmemOutOfBounds).
+.pmem 4
+POP [Sram:Word0]

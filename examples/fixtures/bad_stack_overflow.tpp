@@ -1,0 +1,6 @@
+# Rejected by [stack-growth]: two PUSHes per hop need 16 words across the
+# default 8-hop budget, but only 4 are reserved — the stack pointer walks
+# off the end of packet memory at hop 2.
+.reserve 4
+PUSH [Switch:SwitchID]
+PUSH [Queue:QueueSize]

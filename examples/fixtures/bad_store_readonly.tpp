@@ -1,0 +1,6 @@
+# Rejected by [write-permission]: the STORE destination is a statistic,
+# which the ASIC pipeline owns — at runtime this faults ReadOnlyViolation
+# on the first hop.
+.reserve 1
+LOAD [Queue:QueueSize], [Packet:0]
+STORE [Switch:SwitchID], [Packet:0]

@@ -1,0 +1,4 @@
+# Rejected by [address-range]: 0x1fff sits in the Switch namespace but
+# names no implemented statistic — at runtime this faults UnmappedAddress.
+.reserve 8
+PUSH [0x1fff]

@@ -1,0 +1,7 @@
+# The paper's Phase-1 RCP* collect program (§2.2). Verifies clean: the
+# assembler's default reserve leaves one 4-word record of stack room per
+# hop for an 8-hop path.
+PUSH [Switch:SwitchID]
+PUSH [Link:QueueSize]
+PUSH [Link:RX-Utilization]
+PUSH [Link:RCP-RateRegister]

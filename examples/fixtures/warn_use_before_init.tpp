@@ -1,0 +1,6 @@
+# Passes with a [use-before-init] warning (wire zero-fill makes the read
+# a silent zero, not a fault); --werror turns it into a rejection. The
+# STORE publishes packet-memory word 1, which nothing ever writes.
+.pmem 2
+.sp 4
+STORE [Sram:Word0], [Packet:1]

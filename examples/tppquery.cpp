@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   std::printf("answered %zu/%d probes; per-hop means:\n", answered, probes);
   std::printf("%-6s", "hop");
   for (std::size_t v = 0; v < perHop; ++v) {
-    char col[24];
+    char col[32];  // "value" + worst-case 20-digit size_t
     std::snprintf(col, sizeof col, "value%zu", v);
     std::printf(" %-14s", col);
   }

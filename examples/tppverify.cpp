@@ -1,0 +1,152 @@
+// tppverify — static lint for tiny packet programs, run before injection.
+//
+//   $ ./tppverify prog.tpp              # verify one or more .tpp files
+//   $ ./tppverify --hops 3 prog.tpp     # prove bounds for a 3-hop path
+//   $ echo 'POP [Sram:Word0]' | ./tppverify -    # read from stdin
+//
+// Diagnostics are "file:line: severity: [check] message", so editors and
+// CI annotate the offending source line. Exit status: 0 when every input
+// verifies clean, 1 when any input has errors (or warnings with --werror),
+// 2 on usage/IO problems.
+//
+// Options:
+//   --hops N       hop budget to prove stack/record growth over (default 8)
+//   --mtu N        wire-byte budget (default 1500)
+//   --task N       override the .task id the grants are checked against
+//   --no-CHECK     disable one check: budget, stack-growth,
+//                  write-permission, address-range, use-before-init
+//   --werror       treat warnings as errors
+//   --quiet        suppress the per-file "ok" lines
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/core/assembler.hpp"
+#include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
+
+namespace {
+
+using tpp::core::Check;
+
+constexpr Check kChecks[] = {Check::Budget, Check::StackGrowth,
+                             Check::WritePermission, Check::AddressRange,
+                             Check::UseBeforeInit};
+
+int usage(int status) {
+  std::fprintf(status == 0 ? stdout : stderr,
+               "usage: tppverify [--hops N] [--mtu N] [--werror] [--quiet]\n"
+               "                 [--no-budget] [--no-stack-growth]\n"
+               "                 [--no-write-permission] [--no-address-range]\n"
+               "                 [--no-use-before-init] FILE... | -\n");
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tpp::core::VerifyOptions opts;
+  bool quiet = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto numberArg = [&](std::size_t& out) {
+      if (i + 1 >= argc) return false;
+      out = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 0));
+      return true;
+    };
+    if (arg == "-h" || arg == "--help") return usage(0);
+    if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--hops") {
+      if (!numberArg(opts.maxHops)) return usage(2);
+    } else if (arg == "--mtu") {
+      if (!numberArg(opts.mtuBytes)) return usage(2);
+    } else if (arg.rfind("--no-", 0) == 0) {
+      const std::string_view name = arg.substr(5);
+      bool known = false;
+      for (const Check c : kChecks) {
+        if (name == tpp::core::checkName(c)) {
+          opts.checks &= ~tpp::core::checkBit(c);
+          known = true;
+        }
+      }
+      if (!known) {
+        std::fprintf(stderr, "tppverify: unknown check '%s'\n",
+                     std::string(name).c_str());
+        return usage(2);
+      }
+    } else if (arg == "-" || arg.front() != '-') {
+      files.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "tppverify: unknown option '%s'\n", argv[i]);
+      return usage(2);
+    }
+  }
+  if (files.empty()) return usage(2);
+
+  const auto& map = tpp::core::MemoryMap::standard();
+  bool anyErrors = false;
+
+  for (const auto& file : files) {
+    std::string source;
+    if (file == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      source = buf.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "tppverify: cannot read %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+    }
+    const std::string label = file == "-" ? "<stdin>" : file;
+
+    std::vector<int> lines;
+    tpp::core::AssembleOptions aopts;
+    aopts.outInstructionLines = &lines;
+    auto assembled = tpp::core::assemble(source, map, aopts);
+    if (const auto* err = std::get_if<tpp::core::AssemblyError>(&assembled)) {
+      std::fprintf(stderr, "%s:%d: error: [assemble] %s\n", label.c_str(),
+                   err->line, err->message.c_str());
+      anyErrors = true;
+      continue;
+    }
+    const auto& program = std::get<tpp::core::Program>(assembled);
+
+    auto vopts = opts;
+    vopts.instructionLines = lines;
+    const auto result = tpp::core::verify(program, map, vopts);
+    for (const auto& d : result.diagnostics) {
+      std::fprintf(stderr, "%s\n",
+                   tpp::core::formatDiagnostic(d, label).c_str());
+    }
+    if (!result.ok()) {
+      anyErrors = true;
+    } else if (!quiet) {
+      std::string warnings;
+      if (result.warnings > 0) {
+        warnings = ", " + std::to_string(result.warnings) + " warning" +
+                   (result.warnings == 1 ? "" : "s");
+      }
+      std::printf("%s: ok (%zu instruction%s, %u pmem words, %zu wire "
+                  "bytes%s)\n",
+                  label.c_str(), program.instructions.size(),
+                  program.instructions.size() == 1 ? "" : "s",
+                  program.pmemWords, program.wireBytes(), warnings.c_str());
+    }
+  }
+  return anyErrors ? 1 : 0;
+}

@@ -3,10 +3,16 @@
 #include <algorithm>
 
 #include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
 
 namespace tpp::apps {
 
 namespace {
+
+// Both programs verify with maxHops = 1: the leading CEXEC matches a
+// unique switch id, so the suffix (CSTORE / PUSH) executes on at most
+// one switch along the path. The verifier cannot prove that pinning
+// statically, so one executing hop is the right growth budget here.
 
 // Claim/refill program: CEXEC pins execution to the switch holding the
 // counter; CSTORE does the read-modify-write.
@@ -17,7 +23,7 @@ core::Program casProgram(std::uint32_t switchId, std::uint16_t address,
   b.task(taskId);
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.cstore(address, expect, desired);
-  return *b.build();
+  return core::verified(*b.build(), {.maxHops = 1});
 }
 
 core::Program readProgram(std::uint32_t switchId, std::uint16_t address,
@@ -27,7 +33,7 @@ core::Program readProgram(std::uint32_t switchId, std::uint16_t address,
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.push(address);
   b.reserve(1);
-  return *b.build();
+  return core::verified(*b.build(), {.maxHops = 1});
 }
 
 // Extracts (isCstore, observed/pushed value) from an echoed CAS/read probe

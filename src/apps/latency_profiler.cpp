@@ -1,6 +1,7 @@
 #include "src/apps/latency_profiler.hpp"
 
 #include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 
 namespace tpp::apps {
@@ -26,7 +27,7 @@ core::Program makeLatencyProbeProgram(std::size_t maxHops,
   b.load(core::addr::QueueBytes, kQueueBytes);
   b.load(core::addr::LinkCapacityMbps, kCapacityMbps);
   b.reserve(static_cast<std::uint8_t>(kWordsPerHop * maxHops));
-  return *b.build();
+  return core::verified(*b.build(), {.maxHops = maxHops});
 }
 
 LatencyProfiler::LatencyProfiler(host::Host& prober, Config config)

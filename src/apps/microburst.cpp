@@ -1,6 +1,7 @@
 #include "src/apps/microburst.hpp"
 
 #include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 
 namespace tpp::apps {
@@ -12,8 +13,7 @@ core::Program makeQueueProbeProgram(std::size_t maxHops,
   b.push(core::addr::SwitchId);
   b.push(core::addr::QueueBytes);
   b.reserve(static_cast<std::uint8_t>(2 * maxHops));
-  auto program = b.build();
-  return *program;  // 2 instructions, bounded pmem: cannot fail
+  return core::verified(*b.build(), {.maxHops = maxHops});
 }
 
 MicroburstMonitor::MicroburstMonitor(host::Host& prober, Config config)

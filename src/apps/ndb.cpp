@@ -2,6 +2,7 @@
 
 #include "src/core/header.hpp"
 #include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 
 namespace tpp::apps {
@@ -13,7 +14,7 @@ core::Program makeTraceProgram(std::size_t maxHops, std::uint16_t taskId) {
   b.push(core::addr::MatchedEntryId);
   b.push(core::addr::InputPort);
   b.reserve(static_cast<std::uint8_t>(3 * maxHops));
-  return *b.build();
+  return core::verified(*b.build(), {.maxHops = maxHops});
 }
 
 PacketTrace parseTrace(const core::ExecutedTpp& tpp) {

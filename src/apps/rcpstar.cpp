@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/core/memory_map.hpp"
+#include "src/core/verifier.hpp"
 
 namespace tpp::apps {
 
@@ -20,7 +21,7 @@ core::Program makeRcpCollectProgram(std::size_t maxHops,
   b.push(addr::LinkCapacityMbps);
   b.push(addr::RcpRateRegister);    // [Link:RCP-RateRegister]
   b.reserve(static_cast<std::uint8_t>(5 * maxHops));
-  return *b.build();
+  return core::verified(*b.build(), {.maxHops = maxHops});
 }
 
 core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
@@ -32,7 +33,7 @@ core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
   b.cexec(addr::SwitchId, 0xffffffffu, bottleneckSwitchId);
   // STORE [Link:RCP-RateRegister], [PacketMemory:Offset]
   b.storeImm(addr::RcpRateRegister, newRateKbps);
-  return *b.build();
+  return core::verified(*b.build());
 }
 
 RcpStarController::RcpStarController(host::Host& sender,

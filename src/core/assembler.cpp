@@ -132,16 +132,27 @@ std::vector<std::string_view> splitOperands(std::string_view s) {
 }  // namespace
 
 std::variant<Program, AssemblyError> assemble(std::string_view source,
-                                              const MemoryMap& map) {
+                                              const MemoryMap& map,
+                                              const AssembleOptions& options) {
   ProgramBuilder builder;
   Parser parser{map, {}};
   bool sawReserve = false;
   std::size_t pushCount = 0;
-  std::vector<std::pair<std::size_t, std::uint32_t>> inits;
+  struct InitDirective {
+    std::size_t index;
+    std::uint32_t value;
+    int line;
+  };
+  std::vector<InitDirective> inits;
   std::optional<std::uint16_t> explicitSp;
   std::optional<std::size_t> explicitPmem;
+  std::vector<int> instructionLines;
 
   int lineNo = 0;
+  // Line of the last non-blank source line: post-pass failures (budget
+  // overflows detected only once the whole program is known) anchor here
+  // instead of pointing one past the end of the file.
+  int lastContentLine = 0;
   std::size_t pos = 0;
   auto fail = [&](std::string msg) {
     return AssemblyError{lineNo, std::move(msg)};
@@ -163,6 +174,7 @@ std::variant<Program, AssemblyError> assemble(std::string_view source,
     }
     line = trim(line);
     if (line.empty()) continue;
+    lastContentLine = lineNo;
 
     if (line.front() == '.') {  // directive
       const std::size_t sp = line.find(' ');
@@ -206,8 +218,9 @@ std::variant<Program, AssemblyError> assemble(std::string_view source,
         if (!idx || *idx > 255 || !v || *v > 0xffffffffULL) {
           return fail("bad .init");
         }
-        inits.emplace_back(static_cast<std::size_t>(*idx),
-                           static_cast<std::uint32_t>(*v));
+        inits.push_back(InitDirective{static_cast<std::size_t>(*idx),
+                                      static_cast<std::uint32_t>(*v),
+                                      lineNo});
       } else if (name == ".define") {
         const std::size_t sp2 = rest.find(' ');
         if (sp2 == std::string_view::npos) return fail("bad .define");
@@ -307,6 +320,8 @@ std::variant<Program, AssemblyError> assemble(std::string_view source,
         break;
       }
     }
+    // Every branch above appended exactly one instruction for this line.
+    instructionLines.push_back(lineNo);
   }
 
   // Default reserve: enough stack room for every PUSH to land on a distinct
@@ -319,23 +334,43 @@ std::variant<Program, AssemblyError> assemble(std::string_view source,
   }
   auto program = builder.build();
   if (!program) {
-    return AssemblyError{lineNo, "program exceeds encoding limits"};
+    return AssemblyError{lastContentLine, "program exceeds encoding limits"};
   }
   // Apply explicit memory-image directives.
   std::size_t total = program->pmemWords;
   if (explicitPmem) total = std::max(total, *explicitPmem);
-  for (const auto& [idx, value] : inits) {
-    if (program->initialPmem.size() <= idx) {
-      program->initialPmem.resize(idx + 1, 0);
+  for (const auto& init : inits) {
+    if (program->initialPmem.size() <= init.index) {
+      program->initialPmem.resize(init.index + 1, 0);
     }
-    program->initialPmem[idx] = value;
-    total = std::max(total, idx + 1);
+    program->initialPmem[init.index] = init.value;
+    total = std::max(total, init.index + 1);
+    if (total > 255) {
+      return AssemblyError{init.line, "packet memory exceeds 255 words"};
+    }
   }
   if (total > 255) {
-    return AssemblyError{lineNo, "packet memory exceeds 255 words"};
+    return AssemblyError{lastContentLine, "packet memory exceeds 255 words"};
   }
   program->pmemWords = static_cast<std::uint8_t>(total);
   if (explicitSp) program->initialSp = *explicitSp;
+
+  if (options.verify) {
+    VerifyOptions vopts = options.verifyOptions;
+    vopts.instructionLines = instructionLines;
+    const auto vr = verify(*program, map, vopts);
+    if (!vr.ok()) {
+      for (const auto& d : vr.diagnostics) {
+        if (d.severity != Severity::Error) continue;
+        return AssemblyError{
+            d.line > 0 ? d.line : lastContentLine,
+            "verify: [" + std::string(checkName(d.check)) + "] " + d.message};
+      }
+    }
+  }
+  if (options.outInstructionLines) {
+    *options.outInstructionLines = std::move(instructionLines);
+  }
   return *program;
 }
 

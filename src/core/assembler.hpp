@@ -32,9 +32,11 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "src/core/memory_map.hpp"
 #include "src/core/program.hpp"
+#include "src/core/verifier.hpp"
 
 namespace tpp::core {
 
@@ -43,8 +45,22 @@ struct AssemblyError {
   std::string message;
 };
 
+struct AssembleOptions {
+  // Opt-in hook: run the static verifier on the assembled program and
+  // fail assembly on verifier errors, so ill-formed programs are rejected
+  // at build time instead of faulting in flight. The returned
+  // AssemblyError carries the offending instruction's source line.
+  bool verify = false;
+  VerifyOptions verifyOptions;
+  // When non-null, receives the 1-based source line of each assembled
+  // instruction (parallel to Program::instructions) — feeds
+  // VerifyOptions::instructionLines so verifier output is clickable.
+  std::vector<int>* outInstructionLines = nullptr;
+};
+
 std::variant<Program, AssemblyError> assemble(
-    std::string_view source, const MemoryMap& map = MemoryMap::standard());
+    std::string_view source, const MemoryMap& map = MemoryMap::standard(),
+    const AssembleOptions& options = {});
 
 // Inverse: renders a program as assembly text, naming addresses through the
 // map where possible. Immediate-consuming instructions are shown with their

@@ -171,6 +171,30 @@ TEST(Assembler, ErrorCarriesLineNumber) {
   EXPECT_EQ(err->line, 2);
 }
 
+TEST(Assembler, EncodingLimitErrorPointsAtLastContentLine) {
+  // 256 instructions overflow the 8-bit instrWords field. The error must
+  // name the last line that contributed, not one past end-of-file.
+  std::string src = "# too many instructions\n";
+  for (int i = 0; i < 256; ++i) src += "NOP\n";
+  auto result = assemble(src);
+  const auto* err = std::get_if<AssemblyError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->message, "program exceeds encoding limits");
+  EXPECT_EQ(err->line, 257);  // the 256th NOP
+}
+
+TEST(Assembler, InitOverflowErrorPointsAtTheInitDirective) {
+  // Index 255 parses, but initializing it needs a 256-word packet memory.
+  auto result = assemble(
+      "NOP\n"
+      ".init 255 1\n"
+      "NOP\n");
+  const auto* err = std::get_if<AssemblyError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->message, "packet memory exceeds 255 words");
+  EXPECT_EQ(err->line, 2);  // the .init, not the last line
+}
+
 TEST(Disassembler, RoundTripsThroughAssembler) {
   const auto original = mustAssemble(R"(
     .reserve 8
