@@ -34,6 +34,7 @@
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
 #include "src/sim/event_queue.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/tcpu/tcpu.hpp"
 
@@ -208,6 +209,34 @@ Metric benchLinkTransit() {
       done += n;
     }
     if (sink.got != ops) std::abort();
+  });
+}
+
+// ------------------------------------------------------------------------
+// 3b. Fault-check overhead on the transmit hot path: unarmed (one null
+// check) vs. armed with an all-zero plan (plus two probability compares,
+// no randomness consumed). The regression gate: both must track
+// link_transit_1500B — fault injection is free when it isn't injecting.
+// ------------------------------------------------------------------------
+
+Metric benchFaultCheck(const std::string& name, bool armed) {
+  return measure(name, 500'000, [armed](std::uint64_t ops) {
+    sim::Simulator sim;
+    SinkNode sink("sink");
+    net::Channel ch(sim, 100'000'000'000ULL, sim::Time::ns(100));
+    ch.attachReceiver(&sink, 0);
+    sim::FaultInjector inj(sim, 1);
+    if (armed) ch.setFaultState(&inj.link("bench", sim::LinkFaultPlan{}));
+    constexpr std::uint64_t kBatch = 256;
+    for (std::uint64_t done = 0; done < ops;) {
+      const std::uint64_t n = std::min(kBatch, ops - done);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ch.transmit(net::Packet::make(1500, 0x11));
+      }
+      sim.run();
+      done += n;
+    }
+    if (sink.got != ops) std::abort();  // a zero plan never drops
   });
 }
 
@@ -408,6 +437,8 @@ int main(int argc, char** argv) {
   metrics.push_back(benchPacketMake());
   metrics.push_back(benchPacketClone());
   metrics.push_back(benchLinkTransit());
+  metrics.push_back(benchFaultCheck("fault_check_unarmed", false));
+  metrics.push_back(benchFaultCheck("fault_check_armed_zero", true));
   for (auto& m : benchTcpuOpcodes()) metrics.push_back(std::move(m));
   for (auto& m : benchVerify()) metrics.push_back(std::move(m));
   metrics.push_back(benchChainUdp());

@@ -1,0 +1,7 @@
+# Per-port drop-tail telemetry: each hop records the egress queue bank's
+# cumulative dropped bytes/packets alongside the switch id, so end hosts
+# can localize loss without per-switch agents. Verifies clean: read-only
+# counters, 3 pushed words per hop fit the default 8-hop stack budget.
+PUSH [Switch:SwitchID]
+PUSH [Link:DroppedBytes]
+PUSH [Link:DroppedPackets]

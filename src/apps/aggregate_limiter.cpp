@@ -15,7 +15,10 @@ namespace {
 // statically, so one executing hop is the right growth budget here.
 
 // Claim/refill program: CEXEC pins execution to the switch holding the
-// counter; CSTORE does the read-modify-write.
+// counter; CSTORE does the read-modify-write; a trailing PUSH of the boot
+// epoch both timestamps the counter's SRAM generation and — because the
+// stack only advances when the suffix actually ran — proves the target
+// switch executed the TPP (vs. a TPP-unaware switch forwarding it inert).
 core::Program casProgram(std::uint32_t switchId, std::uint16_t address,
                          std::uint32_t expect, std::uint32_t desired,
                          std::uint16_t taskId) {
@@ -23,6 +26,8 @@ core::Program casProgram(std::uint32_t switchId, std::uint16_t address,
   b.task(taskId);
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.cstore(address, expect, desired);
+  b.push(core::addr::SwitchBootEpoch);
+  b.reserve(1);
   return core::verified(*b.build(), {.maxHops = 1});
 }
 
@@ -32,35 +37,49 @@ core::Program readProgram(std::uint32_t switchId, std::uint16_t address,
   b.task(taskId);
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.push(address);
-  b.reserve(1);
+  b.push(core::addr::SwitchBootEpoch);
+  b.reserve(2);
   return core::verified(*b.build(), {.maxHops = 1});
 }
 
-// Extracts (isCstore, observed/pushed value) from an echoed CAS/read probe
-// of this task targeting `address`; nullopt for anything else.
+// Extracts (isCstore, observed/pushed value, epoch) from an echoed CAS/read
+// probe of this task targeting `address`; nullopt for anything else.
+// `executed == false` means no traversed switch ran the suffix (TCPU
+// disabled at the target, or a corrupted CEXEC miss) — value/epoch are then
+// meaningless and untouched.
 struct CasEcho {
   bool isCstore = false;
+  bool executed = false;
   std::uint32_t value = 0;
   std::uint32_t desired = 0;  // the CSTORE's src operand
+  std::uint32_t epoch = 0;    // target switch's boot epoch
 };
 std::optional<CasEcho> parseCasEcho(const core::ExecutedTpp& tpp,
                                     std::uint16_t address,
                                     std::uint16_t taskId) {
   if (tpp.header.taskId != taskId) return std::nullopt;
-  if (tpp.instructions.size() != 2 ||
+  if (tpp.instructions.size() != 3 ||
       tpp.instructions[0].op != core::Opcode::Cexec) {
     return std::nullopt;
   }
   const auto& second = tpp.instructions[1];
   if (second.addr != address) return std::nullopt;
+  const std::size_t spWords = tpp.header.stackPointer / core::kWordSize;
   CasEcho echo;
   if (second.op == core::Opcode::Cstore) {
+    // Immediates: cexec(2) + cstore(2); epoch push lands at word 4.
     echo.isCstore = true;
+    echo.executed = spWords >= 5 && spWords - 1 < tpp.pmem.size();
+    if (!echo.executed) return echo;
     echo.value = tpp.pmem[second.pmemOff];
     echo.desired = tpp.pmem[second.pmemOff + 1];
+    echo.epoch = tpp.pmem[spWords - 1];
   } else if (second.op == core::Opcode::Push) {
-    // Pushed value sits after the CEXEC immediates.
-    echo.value = tpp.pmem[tpp.header.stackPointer / core::kWordSize - 1];
+    // Immediates: cexec(2); pushes land at words 2 (value) and 3 (epoch).
+    echo.executed = spWords >= 4 && spWords - 1 < tpp.pmem.size();
+    if (!echo.executed) return echo;
+    echo.value = tpp.pmem[spWords - 2];
+    echo.epoch = tpp.pmem[spWords - 1];
   } else {
     return std::nullopt;
   }
@@ -110,6 +129,18 @@ void TokenRefiller::onResult(const core::ExecutedTpp& tpp) {
   const auto echo =
       parseCasEcho(tpp, config_.tokenAddress, config_.taskId);
   if (!echo || !echo->isCstore || !running_) return;
+  if (!echo->executed) return;  // target never ran the TPP; retry next period
+  if (lastEpoch_ != 0 && echo->epoch != lastEpoch_) {
+    // The switch rebooted: the counter was wiped along with the rest of
+    // scratch SRAM. Re-install from zero — the owed deficit re-credits on
+    // the retry below.
+    ++epochResets_;
+    lastSeen_ = 0;
+    lastEpoch_ = echo->epoch;
+    if (retriesLeft_-- > 0) attempt();
+    return;
+  }
+  lastEpoch_ = echo->epoch;
   if (echo->value == lastSeen_) {
     const std::uint64_t credited = echo->desired - lastSeen_;
     deficit_ -= std::min(deficit_, credited);
@@ -180,7 +211,17 @@ void TokenBucketSender::onResult(const core::ExecutedTpp& tpp) {
       parseCasEcho(tpp, config_.tokenAddress, config_.taskId);
   if (!echo) return;
   claimInFlight_ = false;
-  if (echo->isCstore) {
+  if (!echo->executed) {
+    // Target didn't run the TPP (e.g. its TCPU is off); fall through to
+    // the retry timer with an unchanged local view.
+  } else if (lastEpoch_ != 0 && echo->epoch != lastEpoch_) {
+    // Reboot wiped the counter: discard our stale view and adopt whatever
+    // the post-reboot word holds (already-claimed budget stays local).
+    ++epochResets_;
+    lastEpoch_ = echo->epoch;
+    lastSeen_ = echo->value;
+  } else if (echo->isCstore) {
+    lastEpoch_ = echo->epoch;
     if (echo->value == lastSeen_) {  // swap succeeded: tokens are ours
       lastSeen_ -= config_.chunkBytes;
       budget_ += config_.chunkBytes;
@@ -191,6 +232,7 @@ void TokenBucketSender::onResult(const core::ExecutedTpp& tpp) {
       ++failed_;
     }
   } else {
+    lastEpoch_ = echo->epoch;
     lastSeen_ = echo->value;
   }
   if (!running_) return;

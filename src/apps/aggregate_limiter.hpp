@@ -50,6 +50,9 @@ class TokenRefiller {
   void stop();
 
   std::uint64_t refills() const { return refills_; }
+  // Times a boot-epoch change revealed the counter was wiped and the
+  // refiller re-installed its SRAM state from scratch.
+  std::uint64_t epochResets() const { return epochResets_; }
 
  private:
   void refill();
@@ -61,6 +64,8 @@ class TokenRefiller {
   bool running_ = false;
   sim::EventHandle timer_;
   std::uint32_t lastSeen_ = 0;
+  std::uint32_t lastEpoch_ = 0;
+  std::uint64_t epochResets_ = 0;
   // Earned-but-not-yet-credited bytes; survives failed CAS attempts so
   // consumer contention never silently lowers the aggregate rate.
   std::uint64_t deficit_ = 0;
@@ -92,6 +97,9 @@ class TokenBucketSender {
   std::uint64_t bytesClaimed() const { return claimed_; }
   std::uint64_t claimsFailed() const { return failed_; }
   std::uint64_t bytesSent() const { return flow_.bytesSent(); }
+  // Boot-epoch changes observed at the counter's switch (stale local view
+  // discarded each time).
+  std::uint64_t epochResets() const { return epochResets_; }
 
  private:
   void tryClaim();
@@ -106,6 +114,8 @@ class TokenBucketSender {
   bool claimInFlight_ = false;
   sim::EventHandle timer_;
   std::uint32_t lastSeen_ = 0;
+  std::uint32_t lastEpoch_ = 0;
+  std::uint64_t epochResets_ = 0;
   std::uint64_t claimed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t budget_ = 0;  // claimed bytes not yet transmitted

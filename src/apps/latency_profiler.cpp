@@ -63,6 +63,9 @@ void LatencyProfiler::onResult(const core::ExecutedTpp& tpp) {
   const auto records = host::splitHopRecords(tpp);
   if (records.empty()) return;
   ++received_;
+  if (config_.expectedHops != 0 && records.size() < config_.expectedHops) {
+    ++partial_;
+  }
   if (records.size() > hops_.size()) hops_.resize(records.size());
 
   for (std::size_t h = 0; h < records.size(); ++h) {

@@ -36,6 +36,10 @@ class LatencyProfiler {
     sim::Time interval = sim::Time::ms(1);
     std::size_t maxHops = 8;
     std::uint16_t taskId = 0;
+    // Known path length; when non-zero, echoes carrying fewer hop records
+    // (a TPP-unaware switch left a hole) still feed the per-hop summaries
+    // but are counted as partial.
+    std::size_t expectedHops = 0;
   };
 
   LatencyProfiler(host::Host& prober, Config config);
@@ -54,6 +58,9 @@ class LatencyProfiler {
   const HopReport& hop(std::size_t h) const { return hops_.at(h); }
   std::uint64_t probesSent() const { return sent_; }
   std::uint64_t resultsReceived() const { return received_; }
+  // Echoes with fewer hop records than expectedHops: sampled, but flagged
+  // so an operator can tell a short path from a lossy one.
+  std::uint64_t partialResults() const { return partial_; }
 
  private:
   void probe();
@@ -67,6 +74,7 @@ class LatencyProfiler {
   std::vector<HopReport> hops_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t partial_ = 0;
 };
 
 }  // namespace tpp::apps

@@ -66,7 +66,13 @@ void MeshProber::onResult(std::size_t index,
   ++h.answered;
   const auto now = pairs_[index].src->simulator().now();
   h.rttUs.add((now - sim::Time::ns(h.lastSentAtNs)).toMicros());
-  const auto trace = parseTrace(tpp);
+  const auto trace = parseTrace(tpp, h.lastPath.size());
+  if (trace.incomplete) {
+    // A hole (TPP-unaware hop) or truncated record region: keep the RTT
+    // sample but don't let the short path masquerade as a reroute.
+    ++h.incompleteTraces;
+    return;
+  }
   std::vector<std::uint32_t> path;
   for (const auto& hop : trace.hops) path.push_back(hop.switchId);
   if (!h.lastPath.empty() && path != h.lastPath) h.pathChanged = true;

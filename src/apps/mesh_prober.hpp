@@ -39,6 +39,10 @@ class MeshProber {
     sim::Summary rttUs;
     std::vector<std::uint32_t> lastPath;  // switch ids
     bool pathChanged = false;             // any sweep-to-sweep difference
+    // Answers whose trace was structurally truncated or shorter than the
+    // last full path (a TPP-unaware hop left a hole). Counted for RTT but
+    // excluded from path comparison so a hole never reads as a reroute.
+    std::uint64_t incompleteTraces = 0;
   };
 
   MeshProber(std::vector<Pair> pairs, Config config);

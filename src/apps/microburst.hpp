@@ -28,6 +28,9 @@ class MicroburstMonitor {
     sim::Time interval = sim::Time::us(100);
     std::size_t maxHops = 8;
     std::uint16_t taskId = 0;
+    // Known path length; when non-zero, echoes with fewer hop records are
+    // still sampled but counted as partial (a TPP-unaware hop left a hole).
+    std::size_t expectedHops = 0;
   };
 
   MicroburstMonitor(host::Host& prober, Config config);
@@ -45,6 +48,9 @@ class MicroburstMonitor {
   }
   std::uint64_t probesSent() const { return sent_; }
   std::uint64_t resultsReceived() const { return received_; }
+  // Echoes whose hop records were truncated or shorter than expectedHops:
+  // emitted as partial samples, flagged rather than silently mis-parsed.
+  std::uint64_t partialResults() const { return partial_; }
 
  private:
   void probe();
@@ -59,6 +65,7 @@ class MicroburstMonitor {
   std::vector<std::uint32_t> hopSwitchIds_;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t partial_ = 0;
 };
 
 // The baseline: a management-plane poller reading the same queue counter

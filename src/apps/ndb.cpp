@@ -17,12 +17,15 @@ core::Program makeTraceProgram(std::size_t maxHops, std::uint16_t taskId) {
   return core::verified(*b.build(), {.maxHops = maxHops});
 }
 
-PacketTrace parseTrace(const core::ExecutedTpp& tpp) {
+PacketTrace parseTrace(const core::ExecutedTpp& tpp,
+                       std::size_t expectedHops) {
   PacketTrace out;
   out.faulted = (tpp.header.flags & core::kFlagFaulted) != 0;
-  for (const auto& rec : host::splitStackRecords(tpp, 3)) {
+  const auto split = host::splitStackRecordsChecked(tpp, 3);
+  for (const auto& rec : split.records) {
     out.hops.push_back(HopTrace{rec[0], rec[1], rec[2]});
   }
+  out.incomplete = !split.complete(expectedHops);
   return out;
 }
 
@@ -84,11 +87,14 @@ bool isTraceProgram(const core::ExecutedTpp& tpp) {
 
 }  // namespace
 
-TraceCollector::TraceCollector(host::Host& receiver, std::uint16_t taskId) {
-  receiver.onTppArrival([this, taskId](const core::ExecutedTpp& tpp) {
+TraceCollector::TraceCollector(host::Host& receiver, std::uint16_t taskId,
+                               std::size_t expectedHops) {
+  receiver.onTppArrival([this, taskId, expectedHops](
+                            const core::ExecutedTpp& tpp) {
     if (!isTraceProgram(tpp)) return;
     if (taskId != 0 && tpp.header.taskId != taskId) return;
-    traces_.push_back(parseTrace(tpp));
+    traces_.push_back(parseTrace(tpp, expectedHops));
+    if (traces_.back().incomplete) ++incomplete_;
   });
 }
 

@@ -45,10 +45,18 @@ struct HopTrace {
 struct PacketTrace {
   std::vector<HopTrace> hops;
   bool faulted = false;
+  // The trace is structurally damaged or shorter than the expected path:
+  // a TPP-unaware switch left a hole (no record, no hop-count bump), or
+  // corruption truncated the record region. The hops above are still the
+  // valid prefix — a partial trace flagged incomplete, not a corrupt one.
+  bool incomplete = false;
 };
 
-// Parses a fully-executed trace TPP into per-hop records.
-PacketTrace parseTrace(const core::ExecutedTpp& tpp);
+// Parses a fully-executed trace TPP into per-hop records. When
+// `expectedHops` is non-zero, traces with fewer records are flagged
+// incomplete (the §2.3 path length is known to the operator).
+PacketTrace parseTrace(const core::ExecutedTpp& tpp,
+                       std::size_t expectedHops = 0);
 
 // Control-plane intent: the path (and exact table entries) a class of
 // packets is supposed to take.
@@ -106,14 +114,21 @@ std::string divergenceKindName(IntentStore::DivergenceKind kind);
 // are collected — other tasks' TPPs on the same host are ignored.
 class TraceCollector {
  public:
-  explicit TraceCollector(host::Host& receiver, std::uint16_t taskId = 0);
+  explicit TraceCollector(host::Host& receiver, std::uint16_t taskId = 0,
+                          std::size_t expectedHops = 0);
 
   const std::vector<PacketTrace>& traces() const { return traces_; }
   std::size_t count() const { return traces_.size(); }
-  void clear() { traces_.clear(); }
+  // Traces flagged incomplete (holes from TPP-unaware switches etc.).
+  std::size_t incompleteCount() const { return incomplete_; }
+  void clear() {
+    traces_.clear();
+    incomplete_ = 0;
+  }
 
  private:
   std::vector<PacketTrace> traces_;
+  std::size_t incomplete_ = 0;
 };
 
 // Overhead model of the original ndb's approach for comparison: each hop

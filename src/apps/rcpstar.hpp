@@ -3,8 +3,9 @@
 // Per control period T, each flow's rate controller runs three phases:
 //
 //   Phase 1 (Collect)  Probe TPPs gather, per hop: switch id, egress queue
-//                      bytes, offered-load utilization, link capacity, and
-//                      the link's fair-share rate register.
+//                      bytes, offered-load utilization, link capacity, the
+//                      link's fair-share rate register, and the switch's
+//                      boot epoch (so wiped scratch state is detectable).
 //   Phase 2 (Compute)  The sender averages the queue samples, evaluates the
 //                      RCP control equation per link, and identifies the
 //                      bottleneck (the minimum R_link).
@@ -14,21 +15,32 @@
 //
 // The switch contributes nothing but reads, a conditional-execute and a
 // write; the control law lives entirely at the end-host.
+//
+// Robustness: probes go through a ReliableProber (sequence numbers,
+// timeouts, capped-backoff retransmit). A control period that loses every
+// collect probe falls back to a multiplicative rate decrease instead of
+// silently coasting on stale samples. Optionally (useCstoreLock), Phase-3
+// updates are serialized through a per-port CSTORE lock word; the lock is
+// epoch-checked so a switch reboot that wipes it never wedges the
+// controller (the stuck-lock case of the Minions extended version).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "src/core/program.hpp"
 #include "src/host/collector.hpp"
 #include "src/host/flow.hpp"
 #include "src/host/host.hpp"
+#include "src/host/prober.hpp"
 #include "src/rcp/rcp.hpp"
 #include "src/sim/stats.hpp"
 
 namespace tpp::apps {
 
-// The Phase-1 collect program (5 pushed words per hop).
+// The Phase-1 collect program (6 pushed words per hop).
 core::Program makeRcpCollectProgram(std::size_t maxHops = 8,
                                     std::uint16_t taskId = 0);
 // The Phase-3 update program: execute only on `bottleneckSwitchId`, store
@@ -36,6 +48,26 @@ core::Program makeRcpCollectProgram(std::size_t maxHops = 8,
 core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
                                    std::uint32_t newRateKbps,
                                    std::uint16_t taskId = 0);
+
+// Lock programs: push (switch id, boot epoch) at every hop — so the sender
+// can verify the target switch was actually traversed and executing TPPs —
+// then, on the target switch only, CSTORE the per-port lock word. Acquire
+// swaps 0 → ownerId; release swaps ownerId → 0. The CSTORE writes the
+// observed old value back into pmem[kRcpLockResultWord], which is how the
+// end-host learns whether the swap took effect.
+core::Program makeRcpLockAcquireProgram(std::uint32_t switchId,
+                                        std::uint32_t ownerId,
+                                        std::size_t maxHops = 8,
+                                        std::uint16_t taskId = 0);
+core::Program makeRcpLockReleaseProgram(std::uint32_t switchId,
+                                        std::uint32_t ownerId,
+                                        std::size_t maxHops = 8,
+                                        std::uint16_t taskId = 0);
+// pmem word holding the CSTORE comparand / returned old value in the lock
+// programs (after the CEXEC's two immediate words).
+inline constexpr std::size_t kRcpLockResultWord = 2;
+// Words pushed per hop by the lock programs: (switch id, boot epoch).
+inline constexpr std::size_t kRcpLockValuesPerHop = 2;
 
 class RcpStarController {
  public:
@@ -47,7 +79,19 @@ class RcpStarController {
     net::MacAddress dstMac;
     net::Ipv4Address dstIp;
     std::uint16_t taskId = 0;
-    // Offered-load smoothing: use the utilization register as-is.
+    // Reliable-probe policy (per probe, within a period).
+    sim::Time probeTimeout = sim::Time::ms(2);
+    sim::Time probeMaxBackoff = sim::Time::ms(8);
+    unsigned probeMaxRetries = 2;
+    // Fallback when a whole period's probes are lost: rate *= mdFactor
+    // (floored at minRateFraction of the last seen bottleneck capacity).
+    double mdFactor = 0.5;
+    // Serialize Phase-3 updates through the bottleneck port's CSTORE lock
+    // word (Link:RCP-LockRegister). Off by default: a single controller per
+    // path needs no mutual exclusion.
+    bool useCstoreLock = false;
+    // Lock owner id (nonzero). 0 = derive from the sender's IPv4 address.
+    std::uint32_t controllerId = 0;
   };
 
   // Drives `flow`'s rate from the fair-share registers along its path.
@@ -64,8 +108,30 @@ class RcpStarController {
   std::uint32_t bottleneckSwitchId() const { return bottleneckSwitchId_; }
   std::uint64_t updatesSent() const { return updates_; }
 
+  // ------------------------------------------------- degradation telemetry
+  const host::ReliableProber& prober() const { return *prober_; }
+  std::uint64_t probeLosses() const { return probeLosses_; }
+  std::uint64_t mdFallbacks() const { return mdFallbacks_; }
+  std::uint64_t truncatedCollects() const { return truncatedCollects_; }
+  // Last boot epoch observed per switch id (from collect records).
+  const std::map<std::uint32_t, std::uint32_t>& epochBySwitch() const {
+    return epochBySwitch_;
+  }
+
+  // ------------------------------------------------------- lock telemetry
+  bool lockHeld() const { return lockState_ == LockState::Held; }
+  std::uint32_t lockOwnerId() const { return ownerId_; }
+  std::uint64_t lockAcquisitions() const { return lockAcquisitions_; }
+  std::uint64_t lockContention() const { return lockContention_; }
+  std::uint64_t lockUnreachable() const { return lockUnreachable_; }
+  // Times a held/contended lock was discovered wiped by a reboot (the
+  // epoch check) and local state was reset instead of deadlocking.
+  std::uint64_t lockEpochResets() const { return lockEpochResets_; }
+  // Safety-net expiries of the release retry cap.
+  std::uint64_t lockForcedReleases() const { return lockForcedReleases_; }
+
  private:
-  static constexpr std::size_t kValuesPerHop = 5;
+  static constexpr std::size_t kValuesPerHop = 6;
   // Value column layout within a hop record.
   enum Column : std::size_t {
     kSwitchId = 0,
@@ -73,16 +139,32 @@ class RcpStarController {
     kUtilizationPpm = 2,
     kCapacityMbps = 3,
     kRateKbps = 4,
+    kBootEpoch = 5,
   };
+  enum class LockState : std::uint8_t { Released, Acquiring, Held, Releasing };
+  static constexpr unsigned kReleaseRetryCap = 3;
 
   void sendCollectProbe();
-  void onResult(const core::ExecutedTpp& tpp);
+  void onCollect(const core::ExecutedTpp& tpp);
   void computeAndUpdate();
+  double rateFloorBps() const;
+
+  // Lock protocol (useCstoreLock).
+  void updateViaLock(std::uint32_t rateKbps);
+  void startAcquire(std::uint32_t target, std::uint32_t rateKbps);
+  void startRelease();
+  void sendRelease();
+  void sendLockedUpdate(std::uint32_t rateKbps);
+  // Extracts the target switch's boot epoch from a lock-program echo.
+  static std::optional<std::uint32_t> epochFromLockEcho(
+      const core::ExecutedTpp& tpp, std::size_t initialSpWords,
+      std::uint32_t switchId);
 
   host::Host& sender_;
   host::PacedFlow& flow_;
   Config config_;
   core::Program collectProgram_;
+  std::unique_ptr<host::ReliableProber> prober_;
   bool running_ = false;
   sim::EventHandle probeTimer_;
   sim::EventHandle periodTimer_;
@@ -90,12 +172,29 @@ class RcpStarController {
   host::HopSampleAverager averager_{kValuesPerHop};
   // Last raw record per hop (for the non-averaged columns).
   std::vector<host::HopRecord> lastRecords_;
+  std::map<std::uint32_t, std::uint32_t> epochBySwitch_;
 
   double currentRateBps_ = 0;
+  double lastBottleneckCapacityBps_ = 0;
   std::vector<double> linkRatesBps_;
   std::uint32_t bottleneckSwitchId_ = 0;
   std::uint64_t updates_ = 0;
   sim::TimeSeries rateSeries_;
+
+  std::uint64_t probeLosses_ = 0;
+  std::uint64_t mdFallbacks_ = 0;
+  std::uint64_t truncatedCollects_ = 0;
+
+  std::uint32_t ownerId_ = 0;
+  LockState lockState_ = LockState::Released;
+  std::uint32_t lockSwitchId_ = 0;
+  std::uint32_t lockEpoch_ = 0;
+  unsigned releaseRetriesLeft_ = 0;
+  std::uint64_t lockAcquisitions_ = 0;
+  std::uint64_t lockContention_ = 0;
+  std::uint64_t lockUnreachable_ = 0;
+  std::uint64_t lockEpochResets_ = 0;
+  std::uint64_t lockForcedReleases_ = 0;
 };
 
 }  // namespace tpp::apps

@@ -38,6 +38,18 @@ std::uint64_t PortQueueBank::totalBytes() const {
   return total;
 }
 
+std::uint64_t PortQueueBank::totalDroppedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q.stats().droppedBytes;
+  return total;
+}
+
+std::uint64_t PortQueueBank::totalDroppedPackets() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q.stats().droppedPackets;
+  return total;
+}
+
 bool PortQueueBank::allEmpty() const {
   for (const auto& q : queues_) {
     if (!q.empty()) return false;

@@ -50,6 +50,9 @@ class PortQueueBank {
   std::size_t queueCount() const { return queues_.size(); }
 
   std::uint64_t totalBytes() const;
+  // Drop-tail losses summed across the bank (Link:Dropped* statistics).
+  std::uint64_t totalDroppedBytes() const;
+  std::uint64_t totalDroppedPackets() const;
   bool allEmpty() const;
   // Picks the next queue to serve: round-robin across non-empty queues, or
   // — when strictPriority — always the lowest-numbered non-empty queue

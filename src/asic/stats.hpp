@@ -57,6 +57,7 @@ struct SwitchStats {
   std::uint64_t forwardingMisses = 0;
   std::uint64_t ttlExpired = 0;
   std::uint64_t tppsExecuted = 0;
+  std::uint64_t reboots = 0;  // injected reboots that wiped scratch SRAM
 };
 
 }  // namespace tpp::asic

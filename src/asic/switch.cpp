@@ -1,5 +1,6 @@
 #include "src/asic/switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/core/memory_map.hpp"
@@ -50,6 +51,8 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
             return ReadResult::ok(u32(sw_.stats_.totalDrops));
           case addr::PortCount:
             return ReadResult::ok(u32(sw_.config_.ports));
+          case addr::SwitchBootEpoch:
+            return ReadResult::ok(sw_.bootEpoch_);
           default: return ReadResult::fail(Fault::UnmappedAddress);
         }
 
@@ -86,6 +89,10 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
             return ReadResult::ok(u32(sw_.ports_[in].rxBytes));
           case addr::RxPackets:
             return ReadResult::ok(u32(sw_.ports_[in].rxPackets));
+          case addr::PortDroppedBytes:
+            return ReadResult::ok(u32(sw_.banks_[out].totalDroppedBytes()));
+          case addr::PortDroppedPackets:
+            return ReadResult::ok(u32(sw_.banks_[out].totalDroppedPackets()));
           default: return ReadResult::fail(Fault::UnmappedAddress);
         }
       }
@@ -385,6 +392,14 @@ void Switch::drop(const net::Packet& packet, std::size_t port) {
   (void)packet;
   (void)port;
   ++stats_.totalDrops;
+}
+
+void Switch::reboot() {
+  std::fill(sram_.global.begin(), sram_.global.end(), 0u);
+  for (auto& bank : sram_.perPort) std::fill(bank.begin(), bank.end(), 0u);
+  sram_.allocator.clear();
+  ++bootEpoch_;
+  ++stats_.reboots;
 }
 
 std::optional<std::uint32_t> Switch::scratchRead(std::uint16_t address,

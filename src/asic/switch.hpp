@@ -85,6 +85,20 @@ class Switch : public net::Node {
     interceptor_ = interceptor;
   }
 
+  // ------------------------------------------------------- fault hooks
+  // TPP-unaware switch: with the TCPU disabled, TPP packets forward with
+  // their TPP section untouched (no hop record, no hop-count bump) — the
+  // "hole" hosts must detect.
+  void setTcpuEnabled(bool enabled) { config_.tcpuEnabled = enabled; }
+  bool tcpuEnabled() const { return config_.tcpuEnabled; }
+
+  // Power-cycles the switch's scratch state: zeroes global and per-port
+  // SRAM, drops all task grants, and bumps the boot-epoch register so hosts
+  // can tell their CSTORE/lock state is stale. Tables, queues, and in-flight
+  // packets survive (the dataplane keeps forwarding).
+  void reboot();
+  std::uint32_t bootEpoch() const { return bootEpoch_; }
+
   // Wireless extension (§2.3 "Other possibilities"): the radio PHY posts
   // per-port channel SNR (centi-dB) that TPPs read via Link:SNR.
   void setPortSnr(std::size_t port, std::uint32_t centiDb) {
@@ -150,6 +164,7 @@ class Switch : public net::Node {
   std::vector<PortStats> ports_;
   std::vector<PortQueueBank> banks_;
   std::vector<std::uint32_t> snrCentiDb_;
+  std::uint32_t bootEpoch_ = 1;
   SwitchStats stats_;
   EgressInterceptor* interceptor_ = nullptr;
 };

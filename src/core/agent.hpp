@@ -43,6 +43,9 @@ class SramAllocator {
                                     StatNamespace region = StatNamespace::Sram);
   // Frees every grant held by `taskId`.
   void release(std::uint16_t taskId);
+  // Drops every grant (switch reboot): the allocator reverts to open mode
+  // until the control plane re-installs task windows.
+  void clear() { grants_.clear(); }
 
   // True once any grant exists; the TCPU then enforces isolation.
   bool enforcing() const { return !grants_.empty(); }

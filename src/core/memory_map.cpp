@@ -28,6 +28,8 @@ const MemoryMap& MemoryMap::standard() {
        "packets transmitted, all ports");
     ro("Switch:TotalDrops", addr::TotalDrops, "packets dropped, all ports");
     ro("Switch:PortCount", addr::PortCount, "number of ports");
+    ro("Switch:BootEpoch", addr::SwitchBootEpoch,
+       "increments on every reboot that wipes scratch SRAM");
     // Per-port.
     ro("Link:TxBytes", addr::TxBytes, "bytes transmitted on egress port");
     ro("Link:TxPackets", addr::TxPackets, "packets transmitted on egress");
@@ -44,6 +46,10 @@ const MemoryMap& MemoryMap::standard() {
        "offered load into the egress port incl. drops, ppm of capacity");
     ro("Link:SNR", addr::WirelessSnr,
        "wireless channel SNR at the egress port, centi-dB (§2.3)");
+    ro("Link:DroppedBytes", addr::PortDroppedBytes,
+       "drop-tail bytes lost across all queues of the egress port");
+    ro("Link:DroppedPackets", addr::PortDroppedPackets,
+       "drop-tail packets lost across all queues of the egress port");
     // Per-packet metadata.
     ro("PacketMetadata:InputPort", addr::InputPort, "packet's ingress port");
     ro("PacketMetadata:OutputPort", addr::OutputPort,
@@ -71,6 +77,8 @@ const MemoryMap& MemoryMap::standard() {
     // Scratch conventions used by the bundled tasks.
     rw("Link:RCP-RateRegister", addr::RcpRateRegister,
        "per-link fair-share rate R(t), Kbit/s (RCP*, §2.2)");
+    rw("Link:RCP-LockRegister", addr::RcpLockRegister,
+       "RCP* controller CSTORE lock: 0 = free, else owner id");
     rw("PortScratch:Word0", kPortScratchBase + 0, "per-port scratch word 0");
     rw("PortScratch:Word1", kPortScratchBase + 1, "per-port scratch word 1");
     rw("Sram:Word0", kSramBase + 0, "global scratch word 0");

@@ -66,6 +66,9 @@ inline constexpr std::uint16_t TotalRxPackets = 0x1006;
 inline constexpr std::uint16_t TotalTxPackets = 0x1007;
 inline constexpr std::uint16_t TotalDrops = 0x1008;
 inline constexpr std::uint16_t PortCount = 0x1009;
+// Robustness extension: increments every time the switch reboots (wiping
+// scratch SRAM), so hosts can detect stale CSTORE/CEXEC state.
+inline constexpr std::uint16_t SwitchBootEpoch = 0x100a;
 // Per-port (egress unless noted).
 inline constexpr std::uint16_t TxBytes = 0x2000;
 inline constexpr std::uint16_t TxPackets = 0x2001;
@@ -83,6 +86,10 @@ inline constexpr std::uint16_t TxUtilization = 0x2008;
 // with rapidly-changing channel SNR. Per-port, centi-dB, set by the
 // radio's PHY (simulated via Switch::setPortSnr).
 inline constexpr std::uint16_t WirelessSnr = 0x2009;
+// Drop-tail losses summed across the egress port's queues — lets a host
+// distinguish "probe dropped here" from "probe lost upstream".
+inline constexpr std::uint16_t PortDroppedBytes = 0x200a;
+inline constexpr std::uint16_t PortDroppedPackets = 0x200b;
 // Per-packet metadata (paper: "0xa000 + {0x1,0x2}").
 inline constexpr std::uint16_t InputPort = 0xa001;
 inline constexpr std::uint16_t OutputPort = 0xa002;
@@ -99,6 +106,8 @@ inline constexpr std::uint16_t QueueDroppedPackets = 0xb004;
 inline constexpr std::uint16_t QueueCapacityBytes = 0xb005;
 // Conventional scratch assignments used by the bundled tasks.
 inline constexpr std::uint16_t RcpRateRegister = kPortScratchBase + 0;
+// RCP* controller mutual-exclusion word (0 = free, else owner id).
+inline constexpr std::uint16_t RcpLockRegister = kPortScratchBase + 1;
 }  // namespace addr
 
 struct StatInfo {

@@ -21,6 +21,30 @@ std::vector<HopRecord> splitStackRecords(const core::ExecutedTpp& tpp,
   return out;
 }
 
+RecordSplit splitStackRecordsChecked(const core::ExecutedTpp& tpp,
+                                     std::size_t valuesPerHop,
+                                     std::size_t initialSpWords) {
+  RecordSplit out;
+  if (valuesPerHop == 0) return out;
+  const std::size_t spWords = tpp.header.stackPointer / core::kWordSize;
+  if (spWords < initialSpWords) {
+    out.truncated = true;
+    return out;
+  }
+  std::size_t base = initialSpWords;
+  for (; base + valuesPerHop <= spWords; base += valuesPerHop) {
+    if (base + valuesPerHop > tpp.pmem.size()) {
+      out.truncated = true;
+      return out;
+    }
+    out.records.emplace_back(
+        tpp.pmem.begin() + static_cast<std::ptrdiff_t>(base),
+        tpp.pmem.begin() + static_cast<std::ptrdiff_t>(base + valuesPerHop));
+  }
+  if (base != spWords) out.truncated = true;  // partial trailing record
+  return out;
+}
+
 std::vector<HopRecord> splitHopRecords(const core::ExecutedTpp& tpp) {
   std::vector<HopRecord> out;
   const std::size_t per = tpp.header.perHopWords;

@@ -24,6 +24,25 @@ std::vector<HopRecord> splitStackRecords(const core::ExecutedTpp& tpp,
 // one per hop actually traversed.
 std::vector<HopRecord> splitHopRecords(const core::ExecutedTpp& tpp);
 
+// Hole-aware variant of splitStackRecords: reports when the pushed region
+// does not divide into whole records (a TPP-unaware switch skipped its
+// pushes, or a corrupted header points past the allocated pmem), instead of
+// silently discarding the remainder. `expectedHops`, when non-zero, lets
+// callers additionally flag a structurally-valid but short trace — the
+// record count is the hop count actually executed, so fewer records than
+// expected means a hole somewhere on the path.
+struct RecordSplit {
+  std::vector<HopRecord> records;
+  bool truncated = false;  // stack region ended mid-record or outran pmem
+
+  bool complete(std::size_t expectedHops) const {
+    return !truncated && records.size() >= expectedHops;
+  }
+};
+RecordSplit splitStackRecordsChecked(const core::ExecutedTpp& tpp,
+                                     std::size_t valuesPerHop,
+                                     std::size_t initialSpWords = 0);
+
 // Running accumulator of per-hop samples across many probes: per hop index,
 // the mean of each value column. Used by RCP* to average queue samples over
 // a control period.

@@ -1,0 +1,120 @@
+#include "src/host/prober.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tpp::host {
+
+ReliableProber::ReliableProber(Host& host, Config config)
+    : host_(host), cfg_(config), nextSeq_(config.firstSeq) {
+  host_.onTppResult([this](const core::ExecutedTpp& tpp) { onEcho(tpp); });
+}
+
+core::Program ReliableProber::tagged(const core::Program& program,
+                                     std::uint32_t seq) {
+  core::Program t = program;
+  const std::size_t idx = seqWordIndex(program);
+  if (t.initialPmem.size() < idx) t.initialPmem.resize(idx, 0u);
+  t.initialPmem.insert(t.initialPmem.begin() + static_cast<std::ptrdiff_t>(idx),
+                       seq);
+  t.pmemWords = static_cast<std::uint8_t>(t.pmemWords + 1);
+  t.initialSp = static_cast<std::uint16_t>(t.initialSp + core::kWordSize);
+  return t;
+}
+
+std::uint32_t ReliableProber::send(const core::Program& program,
+                                   ResultFn onResult, LossFn onLoss) {
+  const std::uint32_t seq = nextSeq_++;
+  Pending p;
+  p.taggedProgram = tagged(program, seq);
+  p.seqIndex = seqWordIndex(program);
+  p.onResult = std::move(onResult);
+  p.onLoss = std::move(onLoss);
+  p.retriesLeft = cfg_.maxRetries;
+  p.backoff = cfg_.timeout;
+  auto [it, inserted] = pending_.emplace(seq, std::move(p));
+  transmit(it->second);
+  ++sent_;
+  armTimer(seq, it->second);
+  return seq;
+}
+
+void ReliableProber::transmit(const Pending& p) {
+  host_.sendProbe(cfg_.dstMac, cfg_.dstIp, p.taggedProgram);
+}
+
+void ReliableProber::armTimer(std::uint32_t seq, Pending& p) {
+  p.timer = host_.simulator().schedule(p.backoff,
+                                       [this, seq] { onTimeout(seq); });
+}
+
+void ReliableProber::onTimeout(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // completed meanwhile
+  Pending& p = it->second;
+  if (p.retriesLeft == 0) {
+    ++losses_;
+    auto fn = std::move(p.onLoss);
+    // Remember the probe: if an echo shows up after all (a congested queue
+    // can inflate RTT well past the give-up time), onEcho salvages it.
+    salvage_.push_back(Salvage{
+        Fingerprint{seq, p.seqIndex, std::move(p.taggedProgram.instructions)},
+        std::move(p.onResult)});
+    if (salvage_.size() > kCompletedRing) salvage_.pop_front();
+    pending_.erase(it);
+    if (fn) fn(seq);
+    return;
+  }
+  --p.retriesLeft;
+  ++retransmits_;
+  transmit(p);
+  // Capped exponential backoff between retransmissions.
+  p.backoff = std::min(p.backoff + p.backoff, cfg_.maxBackoff);
+  armTimer(seq, p);
+}
+
+bool ReliableProber::matches(
+    const core::ExecutedTpp& tpp, std::uint32_t seq, std::size_t seqIndex,
+    const std::vector<core::Instruction>& instructions) {
+  return seqIndex < tpp.pmem.size() && tpp.pmem[seqIndex] == seq &&
+         tpp.instructions == instructions;
+}
+
+void ReliableProber::onEcho(const core::ExecutedTpp& tpp) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    Pending& p = it->second;
+    if (!matches(tpp, it->first, p.seqIndex, p.taggedProgram.instructions)) {
+      continue;
+    }
+    p.timer.cancel();
+    auto fn = std::move(p.onResult);
+    completed_.push_back(Fingerprint{it->first, p.seqIndex,
+                                     std::move(p.taggedProgram.instructions)});
+    if (completed_.size() > kCompletedRing) completed_.pop_front();
+    pending_.erase(it);
+    if (fn) fn(tpp);
+    return;
+  }
+  for (auto it = salvage_.begin(); it != salvage_.end(); ++it) {
+    if (matches(tpp, it->fp.seq, it->fp.seqIndex, it->fp.instructions)) {
+      // Echo of a probe we had written off: the loss callback already ran,
+      // but the feedback itself is still valid — deliver it.
+      ++lateResults_;
+      auto fn = std::move(it->onResult);
+      completed_.push_back(std::move(it->fp));
+      if (completed_.size() > kCompletedRing) completed_.pop_front();
+      salvage_.erase(it);
+      if (fn) fn(tpp);
+      return;
+    }
+  }
+  for (const auto& f : completed_) {
+    if (matches(tpp, f.seq, f.seqIndex, f.instructions)) {
+      ++duplicates_;  // late echo of an already-delivered probe
+      return;
+    }
+  }
+  // Anything else belongs to another task sharing this host; not ours.
+}
+
+}  // namespace tpp::host

@@ -1,0 +1,116 @@
+// Reliable TPP issuance (§2.2's end-host refactoring made loss-tolerant):
+// sequence-numbered probes with per-probe timeouts, capped exponential-
+// backoff retransmit, and duplicate suppression.
+//
+// Sequence tagging: the probe's sequence number rides as one extra word
+// appended to the immediates region of packet memory (pushing initialSp one
+// word later), so the echoed TPP carries it back untouched by the switches.
+// Record parsers therefore read hop records starting at
+// `seqWordIndex(program) + 1` words in. The tag also disambiguates echoes
+// of retransmitted copies: a late original and its retransmit carry the
+// same seq, and the second arrival is counted as a duplicate and dropped.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "src/core/program.hpp"
+#include "src/host/host.hpp"
+
+namespace tpp::host {
+
+class ReliableProber {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    sim::Time timeout = sim::Time::ms(10);     // first retransmit after this
+    sim::Time maxBackoff = sim::Time::ms(80);  // backoff doubles up to this
+    unsigned maxRetries = 3;                   // retransmits per probe
+    std::uint32_t firstSeq = 1;
+  };
+
+  using ResultFn = std::function<void(const core::ExecutedTpp&)>;
+  using LossFn = std::function<void(std::uint32_t seq)>;
+
+  ReliableProber(Host& host, Config config);
+
+  // Tags `program` with the next sequence number and transmits it toward
+  // the configured destination's echo service. `onResult` fires at most
+  // once, with the first matching echo; `onLoss` (optional) fires if every
+  // transmission times out first. A matching echo that arrives AFTER the
+  // loss was declared — e.g. RTT inflated past the give-up time by a
+  // congested queue — is salvaged: it still fires `onResult` (late feedback
+  // beats no feedback; the caller already took its loss-path action).
+  // Returns the probe's sequence number.
+  std::uint32_t send(const core::Program& program, ResultFn onResult,
+                     LossFn onLoss = {});
+
+  // The program as actually sent: `program` plus the trailing seq word.
+  static core::Program tagged(const core::Program& program, std::uint32_t seq);
+  // Word index of the seq tag in the echoed pmem (== one past the original
+  // immediates); hop records start at seqWordIndex + 1.
+  static std::size_t seqWordIndex(const core::Program& program) {
+    return program.initialSp / core::kWordSize;
+  }
+
+  std::size_t outstanding() const { return pending_.size(); }
+  std::uint64_t probesSent() const { return sent_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  std::uint64_t losses() const { return losses_; }
+  // Echoes delivered after their probe had been declared lost.
+  std::uint64_t lateResults() const { return lateResults_; }
+
+ private:
+  struct Pending {
+    core::Program taggedProgram;
+    std::size_t seqIndex = 0;
+    ResultFn onResult;
+    LossFn onLoss;
+    unsigned retriesLeft = 0;
+    sim::Time backoff = sim::Time::zero();
+    sim::EventHandle timer;
+  };
+
+  // Enough of a completed probe to recognize (and suppress) a late
+  // duplicate echo of it.
+  struct Fingerprint {
+    std::uint32_t seq = 0;
+    std::size_t seqIndex = 0;
+    std::vector<core::Instruction> instructions;
+  };
+
+  // A probe given up on, kept around so a late echo can still deliver.
+  struct Salvage {
+    Fingerprint fp;
+    ResultFn onResult;
+  };
+
+  void transmit(const Pending& p);
+  void armTimer(std::uint32_t seq, Pending& p);
+  void onTimeout(std::uint32_t seq);
+  void onEcho(const core::ExecutedTpp& tpp);
+  static bool matches(const core::ExecutedTpp& tpp, std::uint32_t seq,
+                      std::size_t seqIndex,
+                      const std::vector<core::Instruction>& instructions);
+
+  Host& host_;
+  Config cfg_;
+  std::uint32_t nextSeq_;
+  std::map<std::uint32_t, Pending> pending_;
+  // Recently-completed probes, for suppressing late duplicate echoes.
+  std::deque<Fingerprint> completed_;
+  // Recently-lost probes, for salvaging late echoes.
+  std::deque<Salvage> salvage_;
+  static constexpr std::size_t kCompletedRing = 64;
+  std::uint64_t sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t losses_ = 0;
+  std::uint64_t lateResults_ = 0;
+};
+
+}  // namespace tpp::host

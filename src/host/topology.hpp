@@ -38,6 +38,9 @@ class Testbed {
   asic::Switch& sw(std::size_t i) { return *switches_.at(i); }
   std::size_t hostCount() const { return hosts_.size(); }
   std::size_t switchCount() const { return switches_.size(); }
+  // Links in wiring order (fault scenarios arm specific channels).
+  net::DuplexLink& linkAt(std::size_t i) { return *links_.at(i); }
+  std::size_t linkCount() const { return links_.size(); }
 
   // The switch a host hangs off, and that switch's port towards the host.
   struct Attachment {

@@ -6,16 +6,42 @@
 namespace tpp::net {
 
 sim::Time Channel::transmit(PacketPtr packet) {
-  assert(rx_ != nullptr && "channel has no receiver attached");
   const sim::Time start = std::max(busyUntil_, sim_.now());
   const std::size_t wireBytes = packet->size() + kEthernetWireOverhead;
   const sim::Time end = start + sim::transmissionTime(wireBytes, rateBps_);
   busyUntil_ = end;
+  if (rx_ == nullptr) {
+    // Detached mid-teardown: the wire still serializes, the frame goes
+    // nowhere. Counted, not dereferenced.
+    ++detachedDropped_;
+    return end;
+  }
+  if (fault_ != nullptr) {
+    switch (fault_->onTransmit()) {
+      case sim::LinkFaultState::Verdict::Drop:
+        ++faultDropped_;
+        return end;
+      case sim::LinkFaultState::Verdict::Corrupt: {
+        const auto [byte, bit] = fault_->corruptionTarget(packet->size());
+        if (byte < packet->size()) {
+          packet->bytes()[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        }
+        break;
+      }
+      case sim::LinkFaultState::Verdict::Deliver:
+        break;
+    }
+  }
   const std::size_t payloadBytes = packet->size();
   // Deliver after serialization + propagation. EventFn is move-aware, so
   // the packet rides in the closure directly — no heap shim.
   sim_.scheduleAt(end + propDelay_,
                   [this, p = std::move(packet), payloadBytes]() mutable {
+                    if (rx_ == nullptr) {
+                      // Receiver detached while the frame was in flight.
+                      ++detachedDropped_;
+                      return;
+                    }
                     ++delivered_;
                     bytesDelivered_ += payloadBytes;
                     rx_->receive(std::move(p), rxPort_);

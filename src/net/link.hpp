@@ -12,6 +12,7 @@
 #include "src/net/ethernet.hpp"
 #include "src/net/node.hpp"
 #include "src/net/packet.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace tpp::net {
@@ -26,10 +27,22 @@ class Channel {
     rx_ = rx;
     rxPort_ = rxPort;
   }
+  // Detaches the receiver (teardown, link removal). Packets already in
+  // flight — and any transmitted afterwards — are counted as detached
+  // drops instead of dereferencing a dead node.
+  void detachReceiver() { rx_ = nullptr; }
+
+  // Arms (or, with nullptr, disarms) fault injection on this channel. The
+  // state is owned by a sim::FaultInjector and may be shared inspection-side
+  // with the scenario that installed it.
+  void setFaultState(sim::LinkFaultState* fault) { fault_ = fault; }
+  const sim::LinkFaultState* faultState() const { return fault_; }
 
   // Queues `packet` for serialization; returns the time serialization ends
   // (delivery happens propagationDelay later). Serialization time charges
   // the Ethernet preamble/FCS/IFG overhead on top of the buffer size.
+  // Injected faults act "on the wire": a dropped or corrupted packet still
+  // occupies the serializer, so fault plans never change link timing.
   sim::Time transmit(PacketPtr packet);
 
   bool idleAt(sim::Time t) const { return busyUntil_ <= t; }
@@ -37,6 +50,10 @@ class Channel {
   sim::Time propagationDelay() const { return propDelay_; }
   std::uint64_t packetsDelivered() const { return delivered_; }
   std::uint64_t bytesDelivered() const { return bytesDelivered_; }
+  // Packets lost to an injected fault plan on this channel.
+  std::uint64_t packetsFaultDropped() const { return faultDropped_; }
+  // Packets discarded because no receiver was attached at delivery time.
+  std::uint64_t packetsDetachedDropped() const { return detachedDropped_; }
 
  private:
   sim::Simulator& sim_;
@@ -44,9 +61,12 @@ class Channel {
   sim::Time propDelay_;
   Node* rx_ = nullptr;
   std::size_t rxPort_ = 0;
+  sim::LinkFaultState* fault_ = nullptr;
   sim::Time busyUntil_ = sim::Time::zero();
   std::uint64_t delivered_ = 0;
   std::uint64_t bytesDelivered_ = 0;
+  std::uint64_t faultDropped_ = 0;
+  std::uint64_t detachedDropped_ = 0;
 };
 
 // Full-duplex link between (a, portA) and (b, portB).

@@ -1,0 +1,65 @@
+#include "src/sim/fault.hpp"
+
+namespace tpp::sim {
+
+LinkFaultState::Verdict LinkFaultState::onTransmit() {
+  ++transmitted_;
+  if (down_) {
+    ++downDrops_;
+    return Verdict::Drop;
+  }
+  // Zero-probability plans consume no randomness, so arming a link with an
+  // all-zero plan perturbs nothing (and costs only these two compares).
+  if (plan_.dropProbability > 0.0 && rng_.bernoulli(plan_.dropProbability)) {
+    ++randomDrops_;
+    return Verdict::Drop;
+  }
+  if (plan_.corruptProbability > 0.0 &&
+      rng_.bernoulli(plan_.corruptProbability)) {
+    ++corrupted_;
+    return Verdict::Corrupt;
+  }
+  return Verdict::Deliver;
+}
+
+std::pair<std::size_t, unsigned> LinkFaultState::corruptionTarget(
+    std::size_t frameBytes) {
+  if (frameBytes == 0) return {0, 0};
+  const auto byte = static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<std::int64_t>(frameBytes) - 1));
+  const auto bit = static_cast<unsigned>(rng_.uniformInt(0, 7));
+  return {byte, bit};
+}
+
+LinkFaultState& FaultInjector::link(std::string name, LinkFaultPlan plan) {
+  if (auto* existing = find(name)) return *existing;
+  links_.push_back(std::make_unique<LinkFaultState>(
+      name, master_.fork("link:" + name), plan));
+  return *links_.back();
+}
+
+LinkFaultState* FaultInjector::find(std::string_view name) {
+  for (const auto& l : links_) {
+    if (l->name() == name) return l.get();
+  }
+  return nullptr;
+}
+
+void FaultInjector::linkDownWindow(LinkFaultState& link, Time from, Time to) {
+  sim_.scheduleAt(from, [&link] { link.setDown(true); });
+  sim_.scheduleAt(to, [&link] { link.setDown(false); });
+}
+
+std::uint64_t FaultInjector::totalDrops() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->totalDrops();
+  return n;
+}
+
+std::uint64_t FaultInjector::totalCorrupted() const {
+  std::uint64_t n = 0;
+  for (const auto& l : links_) n += l->corrupted();
+  return n;
+}
+
+}  // namespace tpp::sim

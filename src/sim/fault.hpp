@@ -1,0 +1,111 @@
+// Deterministic fault injection: the dataplane failure modes end-host
+// refactored tasks must tolerate (§2.2 and the Minions extended version):
+// random packet loss and bit corruption on a link, link down/up windows,
+// TPP-unaware switches, and switch reboots that wipe scratch SRAM.
+//
+// Every decision is drawn from a named Rng substream forked from one master
+// seed, so an entire chaos run is bit-reproducible from (seed, scenario):
+// the same (seed, link name) pair always drops/corrupts the same packets in
+// the same order, regardless of which other fault states exist.
+//
+// Layering: this file knows nothing about links or switches. A
+// LinkFaultState is a decision engine + counters; net::Channel holds an
+// optional pointer to one and consults it per transmit (a single branch on
+// the no-fault hot path). Switch-level faults (reboot, TCPU disable) are
+// scheduled through FaultInjector::at() by the scenario that owns the
+// switch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tpp::sim {
+
+// Stochastic faults applied to one direction of a link.
+struct LinkFaultPlan {
+  double dropProbability = 0.0;     // i.i.d. packet loss on the wire
+  double corruptProbability = 0.0;  // i.i.d. single-bit flip in the frame
+};
+
+// Per-channel fault decision engine. Owned by a FaultInjector; a Channel
+// only sees a stable pointer.
+class LinkFaultState {
+ public:
+  LinkFaultState(std::string name, Rng rng, LinkFaultPlan plan)
+      : name_(std::move(name)), rng_(std::move(rng)), plan_(plan) {}
+
+  enum class Verdict : std::uint8_t { Deliver, Drop, Corrupt };
+
+  // One decision per packet handed to the channel, in transmit order —
+  // the only place this state's randomness is consumed.
+  Verdict onTransmit();
+
+  // Picks the bit to flip for a Corrupt verdict: (byte index, bit index).
+  std::pair<std::size_t, unsigned> corruptionTarget(std::size_t frameBytes);
+
+  // Link-down windows drop every packet while active (no randomness used).
+  void setDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  const std::string& name() const { return name_; }
+  const LinkFaultPlan& plan() const { return plan_; }
+
+  std::uint64_t transmitted() const { return transmitted_; }
+  std::uint64_t randomDrops() const { return randomDrops_; }
+  std::uint64_t downDrops() const { return downDrops_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t totalDrops() const { return randomDrops_ + downDrops_; }
+
+ private:
+  std::string name_;
+  Rng rng_;
+  LinkFaultPlan plan_;
+  bool down_ = false;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t randomDrops_ = 0;
+  std::uint64_t downDrops_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+// Registry + scheduler for a chaos scenario. One injector per experiment,
+// seeded once; link states fork substreams by name.
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& simulator, std::uint64_t seed)
+      : sim_(simulator), master_(seed) {}
+
+  std::uint64_t seed() const { return master_.seed(); }
+
+  // Creates (or returns the existing) fault state for the named link
+  // direction. The state's stream depends only on (seed, name).
+  LinkFaultState& link(std::string name, LinkFaultPlan plan = {});
+  LinkFaultState* find(std::string_view name);
+  const std::vector<std::unique_ptr<LinkFaultState>>& links() const {
+    return links_;
+  }
+
+  // Schedules a down/up window on a link state.
+  void linkDownWindow(LinkFaultState& link, Time from, Time to);
+
+  // Schedules an arbitrary fault action (switch reboot, TCPU disable, …)
+  // at an absolute instant.
+  void at(Time t, EventFn fn) { sim_.scheduleAt(t, std::move(fn)); }
+
+  // Aggregates across every registered link state.
+  std::uint64_t totalDrops() const;
+  std::uint64_t totalCorrupted() const;
+
+ private:
+  Simulator& sim_;
+  Rng master_;
+  std::vector<std::unique_ptr<LinkFaultState>> links_;
+};
+
+}  // namespace tpp::sim

@@ -16,13 +16,15 @@ constexpr std::uint64_t kBottleneck = 10'000'000;
 
 TEST(RcpPrograms, CollectMatchesPaperPhase1) {
   const auto p = makeRcpCollectProgram(6);
-  ASSERT_EQ(p.instructions.size(), 5u);
+  ASSERT_EQ(p.instructions.size(), 6u);
   for (const auto& ins : p.instructions) {
     EXPECT_EQ(ins.op, core::Opcode::Push);
   }
   EXPECT_EQ(p.instructions[0].addr, core::addr::SwitchId);
   EXPECT_EQ(p.instructions[4].addr, core::addr::RcpRateRegister);
-  EXPECT_EQ(p.pmemWords, 30);
+  // The boot-epoch column detects reboot-wiped switch state downstream.
+  EXPECT_EQ(p.instructions[5].addr, core::addr::SwitchBootEpoch);
+  EXPECT_EQ(p.pmemWords, 36);
 }
 
 TEST(RcpPrograms, UpdateIsCexecGuardedStore) {

@@ -1,0 +1,416 @@
+// Chaos suite: the fault-injection acceptance scenarios (ctest label
+// `chaos`). Every test derives its randomness from TPP_CHAOS_SEED (env,
+// default 1) through sim::FaultInjector's named substreams, so a failing
+// seed reproduces bit-for-bit with
+//     TPP_CHAOS_SEED=<seed> ctest -L chaos
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/apps/aggregate_limiter.hpp"
+#include "src/apps/microburst.hpp"
+#include "src/apps/ndb.hpp"
+#include "src/apps/rcpstar.hpp"
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+#include "src/sim/fault.hpp"
+
+namespace tpp {
+namespace {
+
+using host::Testbed;
+
+std::uint64_t baseSeed() {
+  if (const char* s = std::getenv("TPP_CHAOS_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1;
+}
+
+constexpr std::uint64_t kBottleneck = 10'000'000;
+
+// ------------------------------------------------------------- RCP* chaos
+
+struct RcpChaosOutcome {
+  double finalRateBps = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t probesSent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t probeLosses = 0;
+  std::uint64_t mdFallbacks = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t updates = 0;
+  bool operator==(const RcpChaosOutcome&) const = default;
+};
+
+struct RcpChaosPlan {
+  double dropProbability = 0.0;
+  double corruptProbability = 0.0;
+  bool reboot = false;               // left switch, at 3 s
+  bool downWindow = false;           // bottleneck dark 1.0–1.5 s
+};
+
+RcpChaosOutcome runRcpChaos(std::uint64_t seed, const RcpChaosPlan& plan) {
+  Testbed tb;
+  asic::SwitchConfig scfg;
+  scfg.bufferPerQueueBytes = 64 * 1024;
+  scfg.utilizationWindow = sim::Time::ms(50);
+  buildDumbbell(tb, 1, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{kBottleneck, sim::Time::ms(1)}, scfg);
+  for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+    for (std::size_t port = 0; port < tb.sw(s).config().ports; ++port) {
+      tb.sw(s).scratchWrite(
+          core::addr::RcpRateRegister,
+          static_cast<std::uint32_t>(tb.sw(s).portCapacityBps(port) / 1000),
+          port);
+    }
+  }
+
+  host::FlowSpec spec;
+  spec.dstMac = tb.host(1).mac();
+  spec.dstIp = tb.host(1).ip();
+  spec.srcPort = 21000;
+  spec.dstPort = 21000;
+  spec.payloadBytes = 1000;
+  spec.rateBps = 100e3;
+  host::PacedFlow flow(tb.host(0), spec, 1);
+
+  apps::RcpStarController::Config ccfg;
+  ccfg.params.alpha = 0.5;
+  ccfg.params.beta = 1.0;
+  ccfg.params.rttSeconds = 0.05;
+  ccfg.period = sim::Time::ms(50);
+  ccfg.dstMac = spec.dstMac;
+  ccfg.dstIp = spec.dstIp;
+  ccfg.probeTimeout = sim::Time::ms(5);
+  ccfg.probeMaxBackoff = sim::Time::ms(20);
+  apps::RcpStarController ctl(tb.host(0), flow, ccfg);
+
+  sim::FaultInjector inj(tb.sim(), seed);
+  auto& fwd = inj.link("bottleneck:l->r",
+                       {plan.dropProbability, plan.corruptProbability});
+  auto& rev = inj.link("bottleneck:r->l",
+                       {plan.dropProbability, plan.corruptProbability});
+  tb.linkAt(2).aToB().setFaultState(&fwd);  // link 2 = the bottleneck
+  tb.linkAt(2).bToA().setFaultState(&rev);
+  if (plan.downWindow) {
+    inj.linkDownWindow(fwd, sim::Time::ms(1000), sim::Time::ms(1500));
+    inj.linkDownWindow(rev, sim::Time::ms(1000), sim::Time::ms(1500));
+  }
+  if (plan.reboot) {
+    inj.at(sim::Time::sec(3), [&] { tb.sw(0).reboot(); });
+  }
+
+  flow.start(sim::Time::zero());
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(6));
+
+  RcpChaosOutcome out;
+  out.finalRateBps = ctl.currentRateBps();
+  out.drops = inj.totalDrops();
+  out.corrupted = inj.totalCorrupted();
+  out.probesSent = ctl.prober().probesSent();
+  out.retransmits = ctl.prober().retransmits();
+  out.probeLosses = ctl.probeLosses();
+  out.mdFallbacks = ctl.mdFallbacks();
+  out.truncated = ctl.truncatedCollects();
+  out.updates = ctl.updatesSent();
+  flow.stop();
+  ctl.stop();
+  return out;
+}
+
+TEST(ChaosRcp, ConvergesWithin25PercentOfFaultFreeUnderDropAndReboot) {
+  const auto seed = baseSeed();
+  const auto clean = runRcpChaos(seed, RcpChaosPlan{});
+  RcpChaosPlan plan;
+  plan.dropProbability = 0.01;  // the acceptance scenario: 1% loss
+  plan.corruptProbability = 0.002;
+  plan.reboot = true;
+  const auto chaos = runRcpChaos(seed, plan);
+
+  EXPECT_GT(chaos.drops, 0u);
+  EXPECT_GT(chaos.retransmits, 0u);  // the prober actually worked for this
+  EXPECT_GT(chaos.updates, 50u);
+  EXPECT_NEAR(chaos.finalRateBps, clean.finalRateBps,
+              0.25 * clean.finalRateBps);
+  // And the clean run itself sits at the bottleneck.
+  EXPECT_NEAR(clean.finalRateBps, static_cast<double>(kBottleneck),
+              0.25 * static_cast<double>(kBottleneck));
+}
+
+TEST(ChaosRcp, DownWindowTriggersMdFallbackThenRecovers) {
+  const auto seed = baseSeed() + 17;
+  RcpChaosPlan plan;
+  plan.downWindow = true;  // bottleneck dark for 0.5 s
+  const auto out = runRcpChaos(seed, plan);
+  // Whole control periods lost every probe: the controller must have taken
+  // the multiplicative-decrease path instead of coasting on stale samples.
+  EXPECT_GT(out.probeLosses, 0u);
+  EXPECT_GE(out.mdFallbacks, 5u);
+  // ... and still recovered to the bottleneck rate afterwards.
+  EXPECT_NEAR(out.finalRateBps, static_cast<double>(kBottleneck),
+              0.25 * static_cast<double>(kBottleneck));
+}
+
+TEST(ChaosRepro, SameSeedSameRunDifferentSeedDifferentRun) {
+  RcpChaosPlan plan;
+  plan.dropProbability = 0.01;
+  plan.corruptProbability = 0.002;
+  plan.reboot = true;
+  const auto seed = baseSeed();
+  const auto a = runRcpChaos(seed, plan);
+  const auto b = runRcpChaos(seed, plan);
+  EXPECT_EQ(a, b);  // bit-reproducible end to end
+  const auto c = runRcpChaos(seed + 1, plan);
+  EXPECT_FALSE(a == c);
+}
+
+// ------------------------------------------------ CSTORE lock vs. reboot
+
+// Satellite: an RCP* controller holding the bottleneck's CSTORE lock across
+// a switch reboot must detect the wipe via the boot epoch and re-acquire —
+// never deadlock on a lock word that no longer exists. Swept over >= 10
+// seeds with staggered reboot instants.
+TEST(ChaosLock, HeldLockSurvivesRebootAcrossTenSeeds) {
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = baseSeed() * 1000 + i;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Testbed tb;
+    asic::SwitchConfig scfg;
+    scfg.bufferPerQueueBytes = 64 * 1024;
+    scfg.utilizationWindow = sim::Time::ms(50);
+    buildDumbbell(tb, 1, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                  host::LinkParams{kBottleneck, sim::Time::ms(1)}, scfg);
+    for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+      for (std::size_t port = 0; port < tb.sw(s).config().ports; ++port) {
+        tb.sw(s).scratchWrite(
+            core::addr::RcpRateRegister,
+            static_cast<std::uint32_t>(tb.sw(s).portCapacityBps(port) / 1000),
+            port);
+      }
+    }
+    host::FlowSpec spec;
+    spec.dstMac = tb.host(1).mac();
+    spec.dstIp = tb.host(1).ip();
+    spec.srcPort = 21000;
+    spec.dstPort = 21000;
+    spec.payloadBytes = 1000;
+    spec.rateBps = 100e3;
+    host::PacedFlow flow(tb.host(0), spec, 1);
+    apps::RcpStarController::Config ccfg;
+    ccfg.params.alpha = 0.5;
+    ccfg.params.beta = 1.0;
+    ccfg.params.rttSeconds = 0.05;
+    ccfg.period = sim::Time::ms(50);
+    ccfg.dstMac = spec.dstMac;
+    ccfg.dstIp = spec.dstIp;
+    ccfg.probeTimeout = sim::Time::ms(5);
+    ccfg.useCstoreLock = true;
+    apps::RcpStarController ctl(tb.host(0), flow, ccfg);
+
+    sim::FaultInjector inj(tb.sim(), seed);
+    // Stagger the reboot across the control period so different seeds hit
+    // different phases of the acquire/update cycle.
+    const auto rebootAt =
+        sim::Time::ms(1500 + static_cast<std::int64_t>(i) * 77);
+    std::uint64_t updatesAtReboot = 0;
+    bool heldAtReboot = false;
+    inj.at(rebootAt, [&] {
+      updatesAtReboot = ctl.updatesSent();
+      heldAtReboot = ctl.lockHeld();
+      tb.sw(0).reboot();
+    });
+
+    flow.start(sim::Time::zero());
+    ctl.start(sim::Time::zero());
+    tb.sim().run(sim::Time::sec(4));
+
+    EXPECT_GE(ctl.lockAcquisitions(), 1u);
+    EXPECT_GT(updatesAtReboot, 0u);   // lock path was live before the fault
+    EXPECT_TRUE(heldAtReboot);        // single controller: lock stays held
+    // The wiped lock was detected (epoch check), state reset, and updates
+    // resumed — the no-deadlock property.
+    EXPECT_GE(ctl.lockEpochResets(), 1u);
+    EXPECT_GT(ctl.updatesSent(), updatesAtReboot);
+    EXPECT_GE(ctl.lockAcquisitions(), 2u);  // re-acquired after the reset
+    // No leaked lock: the word is free or owned by this controller.
+    const auto lockWord =
+        *tb.sw(0).scratchRead(core::addr::RcpLockRegister, 1);
+    EXPECT_TRUE(lockWord == 0 || lockWord == ctl.lockOwnerId())
+        << "leaked lock word " << lockWord;
+    flow.stop();
+    ctl.stop();
+  }
+}
+
+TEST(ChaosLock, ForeignStuckLockClearsOnReboot) {
+  // A dead controller's lock blocks ours (contention, no updates); the
+  // reboot wipes it and ours proceeds. The complement of the epoch-reset
+  // path: here the reboot is what *unsticks* the protocol.
+  Testbed tb;
+  asic::SwitchConfig scfg;
+  scfg.bufferPerQueueBytes = 64 * 1024;
+  scfg.utilizationWindow = sim::Time::ms(50);
+  buildDumbbell(tb, 1, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{kBottleneck, sim::Time::ms(1)}, scfg);
+  for (std::size_t port = 0; port < tb.sw(0).config().ports; ++port) {
+    tb.sw(0).scratchWrite(
+        core::addr::RcpRateRegister,
+        static_cast<std::uint32_t>(tb.sw(0).portCapacityBps(port) / 1000),
+        port);
+  }
+  // Port 1 is the bottleneck egress; wedge its lock with a foreign owner.
+  ASSERT_TRUE(
+      tb.sw(0).scratchWrite(core::addr::RcpLockRegister, 0xdeadbeef, 1));
+
+  host::FlowSpec spec;
+  spec.dstMac = tb.host(1).mac();
+  spec.dstIp = tb.host(1).ip();
+  spec.srcPort = 21000;
+  spec.dstPort = 21000;
+  spec.payloadBytes = 1000;
+  spec.rateBps = 100e3;
+  host::PacedFlow flow(tb.host(0), spec, 1);
+  apps::RcpStarController::Config ccfg;
+  ccfg.params.alpha = 0.5;
+  ccfg.params.beta = 1.0;
+  ccfg.params.rttSeconds = 0.05;
+  ccfg.period = sim::Time::ms(50);
+  ccfg.dstMac = spec.dstMac;
+  ccfg.dstIp = spec.dstIp;
+  ccfg.useCstoreLock = true;
+  apps::RcpStarController ctl(tb.host(0), flow, ccfg);
+
+  sim::FaultInjector inj(tb.sim(), baseSeed());
+  std::uint64_t updatesBeforeReboot = 0;
+  inj.at(sim::Time::sec(2), [&] {
+    updatesBeforeReboot = ctl.updatesSent();
+    tb.sw(0).reboot();
+  });
+
+  flow.start(sim::Time::zero());
+  ctl.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(4));
+
+  EXPECT_EQ(updatesBeforeReboot, 0u);   // wedged the whole first half
+  EXPECT_GT(ctl.lockContention(), 10u);
+  EXPECT_GT(ctl.updatesSent(), 0u);     // unwedged by the wipe
+  EXPECT_GE(ctl.lockAcquisitions(), 1u);
+  flow.stop();
+  ctl.stop();
+}
+
+// ----------------------------------------- partial traces (holes) chaos
+
+TEST(ChaosNdb, TppUnawareSwitchYieldsFlaggedPartialTraces) {
+  Testbed tb;
+  buildChain(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(5)});
+  tb.sw(1).setTcpuEnabled(false);  // second hop forwards but never executes
+  apps::TraceCollector collector(tb.host(1), /*taskId=*/0,
+                                 /*expectedHops=*/2);
+  const auto program = apps::makeTraceProgram(8);
+  for (int i = 0; i < 20; ++i) {
+    tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+  }
+  tb.sim().run(sim::Time::ms(50));
+  ASSERT_EQ(collector.count(), 20u);
+  EXPECT_EQ(collector.incompleteCount(), 20u);
+  for (const auto& trace : collector.traces()) {
+    // The valid prefix survives: hop 0 parsed, the hole flagged.
+    ASSERT_EQ(trace.hops.size(), 1u);
+    EXPECT_EQ(trace.hops[0].switchId, tb.sw(0).config().switchId);
+    EXPECT_TRUE(trace.incomplete);
+  }
+
+  // Re-enabling the TCPU heals the traces.
+  tb.sw(1).setTcpuEnabled(true);
+  collector.clear();
+  tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+  tb.sim().run(tb.sim().now() + sim::Time::ms(10));
+  ASSERT_EQ(collector.count(), 1u);
+  EXPECT_EQ(collector.incompleteCount(), 0u);
+  EXPECT_EQ(collector.traces()[0].hops.size(), 2u);
+}
+
+TEST(ChaosMicroburst, PartialResultsFlaggedButStillSampled) {
+  Testbed tb;
+  buildChain(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(5)});
+  tb.sw(1).setTcpuEnabled(false);
+  apps::MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = tb.host(1).mac();
+  mcfg.dstIp = tb.host(1).ip();
+  mcfg.interval = sim::Time::us(200);
+  mcfg.expectedHops = 2;
+  apps::MicroburstMonitor monitor(tb.host(0), mcfg);
+  monitor.start(sim::Time::zero());
+  tb.sim().run(sim::Time::ms(20));
+  monitor.stop();
+  EXPECT_GT(monitor.resultsReceived(), 10u);
+  EXPECT_EQ(monitor.partialResults(), monitor.resultsReceived());
+  // The one TPP-aware hop still produced usable samples.
+  ASSERT_EQ(monitor.hopsObserved(), 1u);
+  EXPECT_GT(monitor.hopSeries(0).size(), 10u);
+}
+
+// ------------------------------------------------ aggregate limiter chaos
+
+TEST(ChaosLimiter, RebootWipesCounterAndRefillerReinstalls) {
+  constexpr std::uint16_t kToken = core::kSramBase + 16;
+  Testbed tb;
+  buildDumbbell(tb, 4, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{1'000'000'000, sim::Time::us(10)});
+  apps::TokenRefiller::Config rcfg;
+  rcfg.dstMac = tb.host(0).mac();
+  rcfg.dstIp = tb.host(0).ip();
+  rcfg.tokenAddress = kToken;
+  rcfg.aggregateRateBps = 8e6;
+  rcfg.bucketBytes = 20'000;
+  rcfg.period = sim::Time::ms(5);
+  apps::TokenRefiller refiller(tb.host(7), rcfg);
+
+  host::FlowSpec spec;
+  spec.dstMac = tb.host(4).mac();
+  spec.dstIp = tb.host(4).ip();
+  spec.srcPort = 27000;
+  spec.dstPort = 27000;
+  spec.payloadBytes = 1000;
+  spec.rateBps = 100e6;
+  host::PacedFlow flow(tb.host(0), spec, 1);
+  apps::TokenBucketSender::Config scfg;
+  scfg.tokenAddress = kToken;
+  scfg.chunkBytes = 5000;
+  apps::TokenBucketSender sender(tb.host(0), flow, scfg);
+
+  sim::FaultInjector inj(tb.sim(), baseSeed());
+  std::uint64_t refillsBefore = 0, sentBefore = 0;
+  inj.at(sim::Time::ms(1500), [&] {
+    refillsBefore = refiller.refills();
+    sentBefore = sender.bytesSent();
+    tb.sw(0).reboot();
+  });
+
+  refiller.start(sim::Time::zero());
+  sender.start(sim::Time::ms(1));
+  tb.sim().run(sim::Time::sec(3));
+  refiller.stop();
+  sender.stop();
+
+  EXPECT_GT(refillsBefore, 2u);
+  EXPECT_GT(sentBefore, 0u);
+  // The wipe was noticed and SRAM state re-installed from zero...
+  EXPECT_GE(refiller.epochResets(), 1u);
+  EXPECT_GE(sender.epochResets(), 1u);
+  // ...so refills and gated traffic kept flowing afterwards.
+  EXPECT_GT(refiller.refills(), refillsBefore);
+  EXPECT_GT(sender.bytesSent(), sentBefore);
+  const auto tokens = tb.sw(0).scratchRead(kToken);
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_LE(*tokens, 20'000u);
+}
+
+}  // namespace
+}  // namespace tpp

@@ -1,0 +1,178 @@
+#include "src/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/ethernet.hpp"
+#include "src/net/link.hpp"
+
+namespace tpp::sim {
+namespace {
+
+std::vector<LinkFaultState::Verdict> verdicts(std::uint64_t seed,
+                                              const std::string& name,
+                                              LinkFaultPlan plan,
+                                              std::size_t n) {
+  Simulator sim;
+  FaultInjector inj(sim, seed);
+  auto& state = inj.link(name, plan);
+  std::vector<LinkFaultState::Verdict> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(state.onTransmit());
+  return out;
+}
+
+TEST(LinkFaultState, SameSeedSameStream) {
+  const LinkFaultPlan plan{0.1, 0.05};
+  EXPECT_EQ(verdicts(42, "a->b", plan, 500), verdicts(42, "a->b", plan, 500));
+}
+
+TEST(LinkFaultState, DifferentSeedDifferentStream) {
+  const LinkFaultPlan plan{0.1, 0.05};
+  EXPECT_NE(verdicts(42, "a->b", plan, 500), verdicts(43, "a->b", plan, 500));
+}
+
+TEST(LinkFaultState, StreamsAreIndependentPerLinkName) {
+  // Link "a->b" draws the same decisions whether or not other links exist:
+  // substreams are keyed by (seed, name), not registration order.
+  Simulator sim;
+  FaultInjector lone(sim, 7);
+  auto& a1 = lone.link("a->b", {0.2, 0.0});
+  FaultInjector crowd(sim, 7);
+  crowd.link("x->y", {0.5, 0.1});
+  auto& a2 = crowd.link("a->b", {0.2, 0.0});
+  crowd.link("y->z", {0.9, 0.0});
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a1.onTransmit(), a2.onTransmit()) << "diverged at " << i;
+  }
+}
+
+TEST(LinkFaultState, ZeroPlanNeverDropsAndConsumesNoRandomness) {
+  auto all = verdicts(1, "l", LinkFaultPlan{}, 1000);
+  for (auto v : all) EXPECT_EQ(v, LinkFaultState::Verdict::Deliver);
+}
+
+TEST(LinkFaultState, DropRateTracksProbability) {
+  Simulator sim;
+  FaultInjector inj(sim, 99);
+  auto& state = inj.link("lossy", {0.1, 0.0});
+  for (int i = 0; i < 10'000; ++i) state.onTransmit();
+  EXPECT_EQ(state.transmitted(), 10'000u);
+  EXPECT_NEAR(static_cast<double>(state.randomDrops()), 1000.0, 150.0);
+  EXPECT_EQ(state.corrupted(), 0u);
+  EXPECT_EQ(state.totalDrops(), state.randomDrops());
+}
+
+TEST(LinkFaultState, DownWindowDropsEverything) {
+  Simulator sim;
+  FaultInjector inj(sim, 5);
+  auto& state = inj.link("flaky", {});
+  inj.linkDownWindow(state, Time::ms(10), Time::ms(20));
+  sim.run(Time::ms(15));
+  EXPECT_TRUE(state.down());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(state.onTransmit(), LinkFaultState::Verdict::Drop);
+  }
+  EXPECT_EQ(state.downDrops(), 10u);
+  sim.run(Time::ms(25));
+  EXPECT_FALSE(state.down());
+  EXPECT_EQ(state.onTransmit(), LinkFaultState::Verdict::Deliver);
+}
+
+TEST(LinkFaultState, CorruptionTargetStaysInFrame) {
+  Simulator sim;
+  FaultInjector inj(sim, 11);
+  auto& state = inj.link("noisy", {0.0, 1.0});
+  for (int i = 0; i < 200; ++i) {
+    const auto [byte, bit] = state.corruptionTarget(64);
+    EXPECT_LT(byte, 64u);
+    EXPECT_LT(bit, 8u);
+  }
+}
+
+TEST(FaultInjector, LinkIsCreateOrGet) {
+  Simulator sim;
+  FaultInjector inj(sim, 3);
+  auto& first = inj.link("a->b", {0.5, 0.0});
+  auto& again = inj.link("a->b", {0.0, 0.0});  // plan ignored on get
+  EXPECT_EQ(&first, &again);
+  EXPECT_DOUBLE_EQ(again.plan().dropProbability, 0.5);
+  EXPECT_EQ(inj.links().size(), 1u);
+  EXPECT_EQ(inj.find("a->b"), &first);
+  EXPECT_EQ(inj.find("nope"), nullptr);
+}
+
+TEST(FaultInjector, AggregateCounters) {
+  Simulator sim;
+  FaultInjector inj(sim, 21);
+  auto& l1 = inj.link("l1", {1.0, 0.0});
+  auto& l2 = inj.link("l2", {0.0, 1.0});
+  for (int i = 0; i < 5; ++i) l1.onTransmit();
+  for (int i = 0; i < 3; ++i) l2.onTransmit();
+  EXPECT_EQ(inj.totalDrops(), 5u);
+  EXPECT_EQ(inj.totalCorrupted(), 3u);
+}
+
+// ------------------------------------------------- channel integration
+
+class CountingNode : public net::Node {
+ public:
+  CountingNode() : Node("sink") {}
+  void receive(net::PacketPtr packet, std::size_t) override {
+    ++packets;
+    lastBytes = packet->bytes();
+  }
+  std::size_t packets = 0;
+  std::vector<std::uint8_t> lastBytes;
+};
+
+TEST(ChannelFaults, ArmedChannelDropsPerPlan) {
+  Simulator sim;
+  CountingNode a, b;
+  auto link = net::DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                       Time::zero());
+  FaultInjector inj(sim, 77);
+  auto& fault = inj.link("a->b", {1.0, 0.0});  // drop everything
+  a.txChannel(0)->setFaultState(&fault);
+  for (int i = 0; i < 4; ++i) a.txChannel(0)->transmit(net::Packet::make(100));
+  sim.run();
+  EXPECT_EQ(b.packets, 0u);
+  EXPECT_EQ(a.txChannel(0)->packetsFaultDropped(), 4u);
+  EXPECT_EQ(fault.randomDrops(), 4u);
+  // Faults act on the wire: the serializer still charged all four packets.
+  EXPECT_FALSE(a.txChannel(0)->idleAt(Time::zero()));
+}
+
+TEST(ChannelFaults, CorruptionFlipsExactlyOneBit) {
+  Simulator sim;
+  CountingNode a, b;
+  auto link = net::DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                       Time::zero());
+  FaultInjector inj(sim, 123);
+  auto& fault = inj.link("a->b", {0.0, 1.0});  // corrupt everything
+  a.txChannel(0)->setFaultState(&fault);
+  a.txChannel(0)->transmit(net::Packet::make(64, 0x00));
+  sim.run();
+  ASSERT_EQ(b.packets, 1u);
+  int flipped = 0;
+  for (auto byte : b.lastBytes) {
+    for (int bit = 0; bit < 8; ++bit) flipped += (byte >> bit) & 1;
+  }
+  EXPECT_EQ(flipped, 1);
+  EXPECT_EQ(fault.corrupted(), 1u);
+}
+
+TEST(ChannelFaults, UnarmedChannelUnaffected) {
+  Simulator sim;
+  CountingNode a, b;
+  auto link = net::DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                       Time::zero());
+  a.txChannel(0)->transmit(net::Packet::make(100));
+  sim.run();
+  EXPECT_EQ(b.packets, 1u);
+  EXPECT_EQ(a.txChannel(0)->packetsFaultDropped(), 0u);
+}
+
+}  // namespace
+}  // namespace tpp::sim

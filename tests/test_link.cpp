@@ -111,6 +111,33 @@ TEST_F(LinkTest, SlowLinkRates) {
   EXPECT_EQ(b.arrivals[0].at, sim::Time::ns(819'200));
 }
 
+TEST_F(LinkTest, TransmitWithNoReceiverCountsDetachedDrop) {
+  // Regression: transmitting into a detached channel must not crash — the
+  // packet is accounted as a detached drop instead.
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::zero());
+  auto* ch = a.txChannel(0);
+  link->aToB().detachReceiver();
+  const auto end = ch->transmit(Packet::make(1000));
+  EXPECT_EQ(end, sim::Time::ns(8192));  // serializer still charged
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 0u);
+  EXPECT_EQ(ch->packetsDetachedDropped(), 1u);
+  EXPECT_EQ(ch->packetsDelivered(), 0u);
+}
+
+TEST_F(LinkTest, DetachWhileInFlightDropsAtDelivery) {
+  // Regression: a receiver detached while a packet is on the wire must not
+  // be dereferenced at delivery time.
+  auto link = DuplexLink::connect(sim, a, 0, b, 0, 1'000'000'000,
+                                  sim::Time::ms(1));
+  a.txChannel(0)->transmit(Packet::make(100));
+  sim.scheduleAt(sim::Time::us(500), [&] { link->aToB().detachReceiver(); });
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 0u);
+  EXPECT_EQ(a.txChannel(0)->packetsDetachedDropped(), 1u);
+}
+
 TEST(Node, AttachPortGrowsSparsely) {
   sim::Simulator sim;
   SinkNode n(sim);

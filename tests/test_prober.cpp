@@ -1,0 +1,176 @@
+#include "src/host/prober.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/memory_map.hpp"
+#include "src/host/topology.hpp"
+#include "src/sim/fault.hpp"
+
+namespace tpp::host {
+namespace {
+
+TEST(ReliableProberTagging, SeqRidesAfterImmediates) {
+  core::ProgramBuilder b;
+  b.cexec(core::addr::SwitchId, 0xffffffff, 7);  // two immediate words
+  b.push(core::addr::QueueBytes);
+  b.reserve(4);
+  const auto p = *b.build();
+  ASSERT_EQ(p.initialSp, 2 * core::kWordSize);
+  EXPECT_EQ(ReliableProber::seqWordIndex(p), 2u);
+
+  const auto t = ReliableProber::tagged(p, 0xabcd1234u);
+  ASSERT_GE(t.initialPmem.size(), 3u);
+  EXPECT_EQ(t.initialPmem[0], p.initialPmem[0]);  // immediates untouched
+  EXPECT_EQ(t.initialPmem[1], p.initialPmem[1]);
+  EXPECT_EQ(t.initialPmem[2], 0xabcd1234u);       // seq appended after them
+  EXPECT_EQ(t.pmemWords, p.pmemWords + 1);
+  EXPECT_EQ(t.initialSp, p.initialSp + core::kWordSize);
+  EXPECT_EQ(t.instructions, p.instructions);
+}
+
+TEST(ReliableProberTagging, NoImmediatesMeansSeqAtWordZero) {
+  core::ProgramBuilder b;
+  b.push(core::addr::SwitchId);
+  b.reserve(4);
+  const auto p = *b.build();
+  const auto t = ReliableProber::tagged(p, 55);
+  EXPECT_EQ(ReliableProber::seqWordIndex(p), 0u);
+  ASSERT_GE(t.initialPmem.size(), 1u);
+  EXPECT_EQ(t.initialPmem[0], 55u);
+  // Hop records then start one word in — the tag is a hole the switches
+  // never touch.
+}
+
+struct ProberFixture : public ::testing::Test {
+  Testbed tb;
+  core::Program program;
+
+  void SetUp() override {
+    buildChain(tb, 1, LinkParams{1'000'000'000, sim::Time::us(5)});
+    core::ProgramBuilder b;
+    b.push(core::addr::SwitchId);
+    b.push(core::addr::QueueBytes);
+    b.reserve(8);
+    program = *b.build();
+  }
+
+  ReliableProber::Config cfg(sim::Time timeout, unsigned retries) {
+    ReliableProber::Config c;
+    c.dstMac = tb.host(1).mac();
+    c.dstIp = tb.host(1).ip();
+    c.timeout = timeout;
+    c.maxBackoff = timeout * 8;
+    c.maxRetries = retries;
+    return c;
+  }
+};
+
+TEST_F(ProberFixture, EchoDeliversResultExactlyOnce) {
+  ReliableProber prober(tb.host(0), cfg(sim::Time::ms(10), 3));
+  int results = 0;
+  std::uint32_t lastSeq = 0;
+  const auto seq = prober.send(program,
+                               [&](const core::ExecutedTpp&) { ++results; });
+  lastSeq = seq;
+  tb.sim().run(sim::Time::ms(100));
+  EXPECT_EQ(results, 1);
+  EXPECT_EQ(lastSeq, 1u);  // firstSeq default
+  EXPECT_EQ(prober.outstanding(), 0u);
+  EXPECT_EQ(prober.retransmits(), 0u);
+  EXPECT_EQ(prober.losses(), 0u);
+}
+
+TEST_F(ProberFixture, RetransmitRecoversFromOneDrop) {
+  // Take the host0->sw0 wire down across the first transmission only; the
+  // retransmit after `timeout` goes through.
+  sim::FaultInjector inj(tb.sim(), 9);
+  auto& fault = inj.link("h0->sw0");
+  tb.linkAt(0).aToB().setFaultState(&fault);
+  fault.setDown(true);
+  inj.at(sim::Time::us(500), [&] { fault.setDown(false); });
+
+  ReliableProber prober(tb.host(0), cfg(sim::Time::ms(1), 3));
+  int results = 0;
+  prober.send(program, [&](const core::ExecutedTpp&) { ++results; });
+  tb.sim().run(sim::Time::ms(100));
+  EXPECT_EQ(results, 1);
+  EXPECT_EQ(prober.retransmits(), 1u);
+  EXPECT_EQ(prober.losses(), 0u);
+  EXPECT_EQ(fault.downDrops(), 1u);
+}
+
+TEST_F(ProberFixture, AllCopiesLostReportsLoss) {
+  sim::FaultInjector inj(tb.sim(), 10);
+  auto& fault = inj.link("h0->sw0", {1.0, 0.0});  // drop everything
+  tb.linkAt(0).aToB().setFaultState(&fault);
+
+  ReliableProber prober(tb.host(0), cfg(sim::Time::ms(1), 2));
+  int results = 0;
+  std::vector<std::uint32_t> lost;
+  prober.send(program, [&](const core::ExecutedTpp&) { ++results; },
+              [&](std::uint32_t seq) { lost.push_back(seq); });
+  tb.sim().run(sim::Time::sec(1));
+  EXPECT_EQ(results, 0);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], 1u);
+  EXPECT_EQ(prober.losses(), 1u);
+  EXPECT_EQ(prober.retransmits(), 2u);  // both retries spent
+  EXPECT_EQ(prober.outstanding(), 0u);
+}
+
+TEST_F(ProberFixture, LateEchoOfRetransmittedProbeIsSuppressed) {
+  // Timeout shorter than the RTT: the original echo is still in flight
+  // when the retransmit fires, so both copies come back. The first echo
+  // completes the probe; the second must count as a duplicate, not a
+  // second result.
+  ReliableProber prober(tb.host(0), cfg(sim::Time::us(10), 3));
+  int results = 0;
+  prober.send(program, [&](const core::ExecutedTpp&) { ++results; });
+  tb.sim().run(sim::Time::ms(100));
+  EXPECT_EQ(results, 1);
+  EXPECT_GE(prober.retransmits(), 1u);
+  EXPECT_GE(prober.duplicates(), 1u);
+  EXPECT_EQ(prober.losses(), 0u);
+  EXPECT_EQ(prober.outstanding(), 0u);
+}
+
+TEST_F(ProberFixture, LateEchoAfterLossIsSalvaged) {
+  // Give-up time far below the RTT and no retries: the prober declares a
+  // loss while the echo is still in flight. The echo must then still
+  // deliver the result — a congested network inflates RTT exactly when
+  // the feedback matters most.
+  ReliableProber prober(tb.host(0), cfg(sim::Time::us(1), 0));
+  int results = 0;
+  std::vector<std::uint32_t> lost;
+  prober.send(program, [&](const core::ExecutedTpp&) { ++results; },
+              [&](std::uint32_t seq) { lost.push_back(seq); });
+  tb.sim().run(sim::Time::ms(100));
+  ASSERT_EQ(lost.size(), 1u);  // the loss path fired first...
+  EXPECT_EQ(results, 1);       // ...and the late echo was salvaged anyway
+  EXPECT_EQ(prober.losses(), 1u);
+  EXPECT_EQ(prober.lateResults(), 1u);
+  EXPECT_EQ(prober.duplicates(), 0u);
+  EXPECT_EQ(prober.outstanding(), 0u);
+}
+
+TEST_F(ProberFixture, ConcurrentProbesAreDisambiguatedBySeq) {
+  ReliableProber prober(tb.host(0), cfg(sim::Time::ms(10), 3));
+  std::vector<std::uint32_t> order;
+  for (int i = 0; i < 5; ++i) {
+    prober.send(program, [&, i](const core::ExecutedTpp& tpp) {
+      // Each echo carries its own seq at the tag word.
+      order.push_back(tpp.pmem[ReliableProber::seqWordIndex(program)]);
+      (void)i;
+    });
+  }
+  tb.sim().run(sim::Time::ms(100));
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(prober.probesSent(), 5u);
+  EXPECT_EQ(prober.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace tpp::host

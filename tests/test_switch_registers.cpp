@@ -177,5 +177,56 @@ TEST_F(RegisterFixture, L2VersionAdvancesOnRelearn) {
   EXPECT_EQ(v2[0], v1[0] + 1);
 }
 
+TEST_F(RegisterFixture, BootEpochReadableAndBumpsOnReboot) {
+  const auto e1 = readAll(addr::SwitchBootEpoch);
+  ASSERT_EQ(e1.size(), 2u);
+  EXPECT_EQ(e1[0], 1u);  // first life
+  tb.sw(0).reboot();
+  const auto e2 = readAll(addr::SwitchBootEpoch);
+  ASSERT_EQ(e2.size(), 2u);
+  EXPECT_EQ(e2[0], e1[0] + 1);
+  EXPECT_EQ(e2[1], e1[1]);  // only sw0 rebooted
+  EXPECT_EQ(tb.sw(0).stats().reboots, 1u);
+}
+
+// Satellite: per-port drop-tail counters exposed through the memory map.
+TEST(DropCounterRegisters, PerPortDropTailCountersMatchGroundTruth) {
+  Testbed tb;
+  SwitchConfig cfg;
+  cfg.bufferPerQueueBytes = 3000;  // tiny buffer: a 1G burst into 10M drops
+  buildDumbbell(tb, 1, host::LinkParams{1'000'000'000, sim::Time::us(5)},
+                host::LinkParams{10'000'000, sim::Time::us(5)}, cfg);
+  std::vector<core::ExecutedTpp> results;
+  tb.host(0).onTppResult(
+      [&](const core::ExecutedTpp& t) { results.push_back(t); });
+  for (int i = 0; i < 50; ++i) {
+    tb.host(0).sendUdp(tb.host(1).mac(), tb.host(1).ip(), 30000, 30000,
+                       std::vector<std::uint8_t>(1000, 0));
+  }
+  tb.sim().run(tb.sim().now() + sim::Time::ms(100));  // burst drains
+
+  core::ProgramBuilder b;
+  b.push(addr::PortDroppedPackets);
+  b.push(addr::PortDroppedBytes);
+  b.reserve(4);
+  tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), *b.build());
+  tb.sim().run(tb.sim().now() + sim::Time::ms(5));
+  ASSERT_EQ(results.size(), 1u);
+  const auto recs = host::splitStackRecords(results.back(), 2);
+  ASSERT_EQ(recs.size(), 2u);
+
+  // Hop 0 = left switch, egress = the dropping bottleneck port (port 1).
+  std::uint64_t truthPackets = 0, truthBytes = 0;
+  for (std::size_t q = 0; q < tb.sw(0).config().queuesPerPort; ++q) {
+    truthPackets += tb.sw(0).queueStats(1, q).droppedPackets;
+    truthBytes += tb.sw(0).queueStats(1, q).droppedBytes;
+  }
+  EXPECT_GT(truthPackets, 0u);
+  EXPECT_EQ(recs[0][0], truthPackets);
+  EXPECT_EQ(recs[0][1], static_cast<std::uint32_t>(truthBytes));
+  // Hop 1 = right switch: nothing dropped toward the receiver.
+  EXPECT_EQ(recs[1][0], 0u);
+}
+
 }  // namespace
 }  // namespace tpp::asic
