@@ -36,6 +36,7 @@
 #include "src/sim/event_queue.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/trace.hpp"
 #include "src/tcpu/tcpu.hpp"
 
 // ------------------------------------------------------------------------
@@ -241,6 +242,50 @@ Metric benchFaultCheck(const std::string& name, bool armed) {
 }
 
 // ------------------------------------------------------------------------
+// 3c. Flight-recorder overhead on the same transmit path: disarmed (one
+// null check per trace site, PR 3's fault_check discipline) vs. armed
+// (two ring stores per transit: link_tx + link_deliver). Gate: disarmed
+// must track link_transit_1500B — tracing is free when nothing listens.
+// ------------------------------------------------------------------------
+
+Metric benchTraceCheck(const std::string& name, bool armed) {
+  return measure(name, 500'000, [armed](std::uint64_t ops) {
+    sim::Simulator sim;
+    SinkNode sink("sink");
+    net::Channel ch(sim, 100'000'000'000ULL, sim::Time::ns(100));
+    ch.attachReceiver(&sink, 0);
+    sim::Tracer tracer(1 << 12);
+    if (armed) ch.setTracer(&tracer, tracer.actor("bench"));
+    constexpr std::uint64_t kBatch = 256;
+    for (std::uint64_t done = 0; done < ops;) {
+      const std::uint64_t n = std::min(kBatch, ops - done);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ch.transmit(net::Packet::make(1500, 0x11));
+      }
+      sim.run();
+      done += n;
+    }
+    if (sink.got != ops) std::abort();
+    if (armed && tracer.written() == 0) std::abort();
+  });
+}
+
+// Raw cost of one Tracer::record into a warm ring — the per-site price a
+// new trace point adds to an armed hot path.
+Metric benchTraceRecord() {
+  return measure("trace_record", 4'000'000, [](std::uint64_t ops) {
+    sim::Tracer tracer(1 << 12);
+    const auto actor = tracer.actor("bench");
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      tracer.record(sim::Time::ns(static_cast<std::int64_t>(i)),
+                    sim::TraceKind::EventFire, actor, 0,
+                    static_cast<std::uint32_t>(i));
+    }
+    if (tracer.written() != ops) std::abort();
+  });
+}
+
+// ------------------------------------------------------------------------
 // 4. TCPU: decode + execute, per opcode
 // ------------------------------------------------------------------------
 
@@ -439,11 +484,36 @@ int main(int argc, char** argv) {
   metrics.push_back(benchLinkTransit());
   metrics.push_back(benchFaultCheck("fault_check_unarmed", false));
   metrics.push_back(benchFaultCheck("fault_check_armed_zero", true));
+  metrics.push_back(benchTraceCheck("trace_check_off", false));
+  metrics.push_back(benchTraceCheck("trace_check_on", true));
+  metrics.push_back(benchTraceRecord());
   for (auto& m : benchTcpuOpcodes()) metrics.push_back(std::move(m));
   for (auto& m : benchVerify()) metrics.push_back(std::move(m));
   metrics.push_back(benchChainUdp());
   metrics.push_back(benchChainTppProbes());
   writeJson(out, metrics);
   std::printf("wrote %s (%zu metrics)\n", out, metrics.size());
+
+  // Self-gate: with tracing compiled in but disarmed, the transit path must
+  // cost the same as the plain transit benchmark (the trace sites are one
+  // never-taken branch each). 1.25x absorbs scheduler noise in CI; a real
+  // regression (ring store on the disarmed path, say) blows well past it.
+  const auto find = [&](const char* name) -> const Metric* {
+    for (const auto& m : metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  const Metric* transit = find("link_transit_1500B");
+  const Metric* off = find("trace_check_off");
+  if (transit != nullptr && off != nullptr &&
+      off->nsPerOp > transit->nsPerOp * 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: trace_check_off %.1f ns/op exceeds 1.25x "
+                 "link_transit_1500B %.1f ns/op — disarmed tracing is not "
+                 "free\n",
+                 off->nsPerOp, transit->nsPerOp);
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,135 @@
+// tpptrace: replay a recorded flight-recorder ring as a human-readable
+// timeline, reconstruct a probe's per-hop lifecycle, or export to
+// chrome://tracing JSON / CSV.
+//
+//   tpptrace run.trace                      # full timeline
+//   tpptrace run.trace --limit 50           # last 50 records
+//   tpptrace run.trace --probe 3:17         # lifecycle of task 3, seq 17
+//   tpptrace run.trace --chrome run.json    # Perfetto / chrome://tracing
+//   tpptrace run.trace --csv run.csv
+//
+// Exit codes: 0 clean decode, 1 decode flagged problems (truncated input,
+// out-of-range record kinds — whatever parsed is still shown), 2 usage or
+// I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/host/telemetry.hpp"
+#include "src/sim/trace.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tpptrace <trace-file> [--probe TASK:SEQ] "
+               "[--chrome FILE] [--csv FILE] [--limit N] [--quiet]\n");
+  return 2;
+}
+
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  f << content;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string tracePath, chromePath, csvPath;
+  long long limit = -1;
+  bool quiet = false;
+  bool wantProbe = false;
+  unsigned long probeTask = 0, probeSeq = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--probe") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      char* colon = nullptr;
+      probeTask = std::strtoul(v, &colon, 10);
+      if (colon == v || *colon != ':') return usage();
+      char* end = nullptr;
+      probeSeq = std::strtoul(colon + 1, &end, 10);
+      if (end == colon + 1 || *end != '\0') return usage();
+      wantProbe = true;
+    } else if (arg == "--chrome") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      chromePath = v;
+    } else if (arg == "--csv") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      csvPath = v;
+    } else if (arg == "--limit") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      char* end = nullptr;
+      limit = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || limit < 0) return usage();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (tracePath.empty()) {
+      tracePath = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (tracePath.empty()) return usage();
+
+  std::ifstream in(tracePath, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "tpptrace: cannot open %s\n", tracePath.c_str());
+    return 2;
+  }
+  std::vector<std::uint8_t> bytes(std::istreambuf_iterator<char>(in), {});
+
+  const auto trace = tpp::sim::decodeTrace(bytes);
+  if (!trace.ok) {
+    std::fprintf(stderr, "tpptrace: decode flagged: %s\n",
+                 trace.error.c_str());
+  }
+
+  if (!chromePath.empty() &&
+      !writeFile(chromePath, tpp::host::toChromeJson(trace))) {
+    std::fprintf(stderr, "tpptrace: cannot write %s\n", chromePath.c_str());
+    return 2;
+  }
+  if (!csvPath.empty() && !writeFile(csvPath, tpp::host::toCsv(trace))) {
+    std::fprintf(stderr, "tpptrace: cannot write %s\n", csvPath.c_str());
+    return 2;
+  }
+
+  if (wantProbe) {
+    const auto lc = tpp::host::reconstructProbeLifecycle(
+        trace, static_cast<std::uint16_t>(probeTask),
+        static_cast<std::uint32_t>(probeSeq));
+    std::fputs(tpp::host::describeLifecycle(lc, trace.actors).c_str(),
+               stdout);
+  } else if (!quiet) {
+    std::printf("%zu records, %zu actors, %llu overwritten%s\n",
+                trace.records.size(), trace.actors.size(),
+                static_cast<unsigned long long>(trace.overwritten),
+                trace.truncated ? " (TRUNCATED INPUT)" : "");
+    std::size_t first = 0;
+    if (limit >= 0 && static_cast<std::size_t>(limit) < trace.records.size()) {
+      first = trace.records.size() - static_cast<std::size_t>(limit);
+    }
+    for (std::size_t i = first; i < trace.records.size(); ++i) {
+      std::printf("%s\n",
+                  tpp::host::describeRecord(trace.records[i], trace.actors)
+                      .c_str());
+    }
+  }
+
+  return trace.ok ? 0 : 1;
+}

@@ -26,6 +26,7 @@
 #include "src/host/host.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/stats.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
@@ -41,7 +42,7 @@ class TokenRefiller {
     double aggregateRateBps = 10e6;   // refill rate
     std::uint64_t bucketBytes = 64 * 1024;
     sim::Time period = sim::Time::ms(10);
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskLimiter;
   };
 
   TokenRefiller(host::Host& agent, Config config);
@@ -82,7 +83,7 @@ class TokenBucketSender {
     std::uint16_t tokenAddress = 0;
     std::uint32_t chunkBytes = 4000;  // claim granularity
     sim::Time retryDelay = sim::Time::ms(2);
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskLimiter;
     // Seed for retry jitter. Symmetric senders on a deterministic
     // substrate would otherwise lose every CAS race to the same winner.
     std::uint64_t jitterSeed = 1;

@@ -21,12 +21,13 @@
 #include "src/core/program.hpp"
 #include "src/host/host.hpp"
 #include "src/sim/stats.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
 // The hop-mode profiling program (4 words per hop).
 core::Program makeLatencyProbeProgram(std::size_t maxHops = 8,
-                                      std::uint16_t taskId = 0);
+                                      std::uint16_t taskId = kTaskLatency);
 
 class LatencyProfiler {
  public:
@@ -35,7 +36,7 @@ class LatencyProfiler {
     net::Ipv4Address dstIp;
     sim::Time interval = sim::Time::ms(1);
     std::size_t maxHops = 8;
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskLatency;
     // Known path length; when non-zero, echoes carrying fewer hop records
     // (a TPP-unaware switch left a hole) still feed the per-hop summaries
     // but are counted as partial.

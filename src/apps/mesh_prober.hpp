@@ -15,6 +15,7 @@
 #include "src/apps/ndb.hpp"
 #include "src/host/host.hpp"
 #include "src/sim/stats.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
@@ -29,7 +30,7 @@ class MeshProber {
     sim::Time sweepInterval = sim::Time::ms(100);  // between full sweeps
     sim::Time pairSpacing = sim::Time::us(100);    // between pair probes
     std::size_t maxHops = 8;
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskMesh;
   };
 
   struct PairHealth {

@@ -11,12 +11,13 @@
 #include "src/core/program.hpp"
 #include "src/host/host.hpp"
 #include "src/sim/stats.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
 // The §2.1 queue-query program: two pushed words per hop.
 core::Program makeQueueProbeProgram(std::size_t maxHops = 8,
-                                    std::uint16_t taskId = 0);
+                                    std::uint16_t taskId = kTaskMicroburst);
 
 // Sends queue-probe TPPs at `interval` and accumulates, per hop, a time
 // series of (echo arrival time, queue bytes).
@@ -27,7 +28,7 @@ class MicroburstMonitor {
     net::Ipv4Address dstIp;
     sim::Time interval = sim::Time::us(100);
     std::size_t maxHops = 8;
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskMicroburst;
     // Known path length; when non-zero, echoes with fewer hop records are
     // still sampled but counted as partial (a TPP-unaware hop left a hole).
     std::size_t expectedHops = 0;

@@ -22,12 +22,13 @@
 #include "src/core/program.hpp"
 #include "src/host/flow.hpp"
 #include "src/host/host.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
 // The §2.3 trace program (3 pushed words per hop).
 core::Program makeTraceProgram(std::size_t maxHops = 8,
-                               std::uint16_t taskId = 0);
+                               std::uint16_t taskId = kTaskNdb);
 
 struct HopTrace {
   std::uint32_t switchId = 0;
@@ -114,7 +115,7 @@ std::string divergenceKindName(IntentStore::DivergenceKind kind);
 // are collected — other tasks' TPPs on the same host are ignored.
 class TraceCollector {
  public:
-  explicit TraceCollector(host::Host& receiver, std::uint16_t taskId = 0,
+  explicit TraceCollector(host::Host& receiver, std::uint16_t taskId = kTaskNdb,
                           std::size_t expectedHops = 0);
 
   const std::vector<PacketTrace>& traces() const { return traces_; }

@@ -37,17 +37,18 @@
 #include "src/host/prober.hpp"
 #include "src/rcp/rcp.hpp"
 #include "src/sim/stats.hpp"
+#include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
 
 // The Phase-1 collect program (6 pushed words per hop).
 core::Program makeRcpCollectProgram(std::size_t maxHops = 8,
-                                    std::uint16_t taskId = 0);
+                                    std::uint16_t taskId = kTaskRcpStar);
 // The Phase-3 update program: execute only on `bottleneckSwitchId`, store
 // `newRateKbps` into the link's rate register.
 core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
                                    std::uint32_t newRateKbps,
-                                   std::uint16_t taskId = 0);
+                                   std::uint16_t taskId = kTaskRcpStar);
 
 // Lock programs: push (switch id, boot epoch) at every hop — so the sender
 // can verify the target switch was actually traversed and executing TPPs —
@@ -58,11 +59,11 @@ core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
 core::Program makeRcpLockAcquireProgram(std::uint32_t switchId,
                                         std::uint32_t ownerId,
                                         std::size_t maxHops = 8,
-                                        std::uint16_t taskId = 0);
+                                        std::uint16_t taskId = kTaskRcpStar);
 core::Program makeRcpLockReleaseProgram(std::uint32_t switchId,
                                         std::uint32_t ownerId,
                                         std::size_t maxHops = 8,
-                                        std::uint16_t taskId = 0);
+                                        std::uint16_t taskId = kTaskRcpStar);
 // pmem word holding the CSTORE comparand / returned old value in the lock
 // programs (after the CEXEC's two immediate words).
 inline constexpr std::size_t kRcpLockResultWord = 2;
@@ -78,7 +79,7 @@ class RcpStarController {
     std::size_t maxHops = 8;
     net::MacAddress dstMac;
     net::Ipv4Address dstIp;
-    std::uint16_t taskId = 0;
+    std::uint16_t taskId = kTaskRcpStar;
     // Reliable-probe policy (per probe, within a period).
     sim::Time probeTimeout = sim::Time::ms(2);
     sim::Time probeMaxBackoff = sim::Time::ms(8);

@@ -1,0 +1,24 @@
+// Well-known task ids for the bundled applications.
+//
+// Every app tags its probes with a distinct default task id so flight-
+// recorder traces (and SRAM grants, and collector filters) can tell the
+// tasks apart when several share a testbed — `tpptrace --probe 2:17` means
+// "RCP*'s probe 17" unambiguously. Callers running multiple instances of
+// one app still pass explicit ids (the multi-tenant tests do).
+//
+// Id 0 stays reserved as "untagged": collectors treat it as "accept any",
+// and the SramAllocator's open mode keys off having no grants, not id 0.
+#pragma once
+
+#include <cstdint>
+
+namespace tpp::apps {
+
+inline constexpr std::uint16_t kTaskMicroburst = 1;  // §2.1 monitor
+inline constexpr std::uint16_t kTaskRcpStar = 2;     // §2.2 congestion ctrl
+inline constexpr std::uint16_t kTaskNdb = 3;         // §2.3 path tracing
+inline constexpr std::uint16_t kTaskLimiter = 4;     // aggregate limiter
+inline constexpr std::uint16_t kTaskLatency = 5;     // latency profiler
+inline constexpr std::uint16_t kTaskMesh = 6;        // mesh prober
+
+}  // namespace tpp::apps

@@ -53,6 +53,18 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
             return ReadResult::ok(u32(sw_.config_.ports));
           case addr::SwitchBootEpoch:
             return ReadResult::ok(sw_.bootEpoch_);
+          case addr::SimEventsFired:
+            return ReadResult::ok(u32(sw_.sim_.eventsExecuted()));
+          case addr::TcpuInstrsRetired:
+            return ReadResult::ok(u32(sw_.tcpu_.instructionsExecuted()));
+          case addr::TppsExecuted:
+            return ReadResult::ok(u32(sw_.stats_.tppsExecuted));
+          case addr::TraceRecords:
+            return ReadResult::ok(
+                sw_.tracer_ ? u32(sw_.tracer_->written()) : 0u);
+          case addr::TraceDrops:
+            return ReadResult::ok(
+                sw_.tracer_ ? u32(sw_.tracer_->overwritten()) : 0u);
           default: return ReadResult::fail(Fault::UnmappedAddress);
         }
 
@@ -93,6 +105,11 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
             return ReadResult::ok(u32(sw_.banks_[out].totalDroppedBytes()));
           case addr::PortDroppedPackets:
             return ReadResult::ok(u32(sw_.banks_[out].totalDroppedPackets()));
+          case addr::ProbesInFlight:
+            // Ingress-resolved: the gauge describes the host feeding this
+            // port, so a probe reads its own sender's outstanding count at
+            // the first hop.
+            return ReadResult::ok(sw_.probesInFlight_[in]);
           default: return ReadResult::fail(Fault::UnmappedAddress);
         }
       }
@@ -192,6 +209,13 @@ Switch::Switch(sim::Simulator& simulator, std::string name,
   }
   sram_.global.assign(core::kSramWords, 0u);
   snrCentiDb_.assign(config_.ports, 0u);
+  probesInFlight_.assign(config_.ports, 0u);
+}
+
+void Switch::setTracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  actor_ = tracer != nullptr ? tracer->actor(name()) : 0;
+  tcpu_.setTracer(tracer, actor_, tracer != nullptr ? &sim_ : nullptr);
 }
 
 Switch::~Switch() = default;
@@ -323,8 +347,15 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
     auto view = core::TppView::at(*packet, *parsed->tppOffset);
     if (view) {
       UnifiedAddressSpace mem(*this, meta);
-      tcpu_.execute(*view, mem);
+      const auto report = tcpu_.execute(*view, mem);
       ++stats_.tppsExecuted;
+      if (tracer_ != nullptr) {
+        tracer_->record(sim_.now(), sim::TraceKind::TcpuExecute, actor_,
+                        view->taskId(), view->hopNumber(),
+                        static_cast<std::uint32_t>(report.executed),
+                        static_cast<std::uint32_t>(view->faultCode()),
+                        static_cast<std::uint32_t>(report.cycles));
+      }
     }
   }
 
@@ -350,9 +381,22 @@ void Switch::enqueue(net::PacketPtr packet, std::size_t outPort,
   if (!bank.queue(queueId).enqueue(std::move(packet))) {
     ++port.txDrops;
     ++stats_.totalDrops;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceKind::PacketDrop, actor_, 0,
+                      static_cast<std::uint32_t>(outPort),
+                      static_cast<std::uint32_t>(queueId),
+                      static_cast<std::uint32_t>(size));
+    }
     return;
   }
   port.queuedBytesNow += size;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceKind::PacketEnqueue, actor_, 0,
+                    static_cast<std::uint32_t>(outPort),
+                    static_cast<std::uint32_t>(queueId),
+                    static_cast<std::uint32_t>(size),
+                    static_cast<std::uint32_t>(bank.queue(queueId).bytes()));
+  }
   if (!bank.transmitting) startTransmit(outPort);
 }
 
@@ -368,6 +412,12 @@ void Switch::startTransmit(std::size_t port) {
   auto& stats = ports_[port];
   stats.updateIntegral(sim_.now());
   stats.queuedBytesNow -= packet->size();
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceKind::PacketDequeue, actor_, 0,
+                    static_cast<std::uint32_t>(port),
+                    static_cast<std::uint32_t>(*next),
+                    static_cast<std::uint32_t>(packet->size()));
+  }
 
   net::Channel* channel =
       port < portCount() ? txChannel(port) : nullptr;
@@ -389,9 +439,12 @@ void Switch::startTransmit(std::size_t port) {
 }
 
 void Switch::drop(const net::Packet& packet, std::size_t port) {
-  (void)packet;
-  (void)port;
   ++stats_.totalDrops;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceKind::PacketDrop, actor_, 0,
+                    static_cast<std::uint32_t>(port), 0,
+                    static_cast<std::uint32_t>(packet.size()));
+  }
 }
 
 void Switch::reboot() {
@@ -400,6 +453,10 @@ void Switch::reboot() {
   sram_.allocator.clear();
   ++bootEpoch_;
   ++stats_.reboots;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), sim::TraceKind::SwitchReboot, actor_, 0,
+                    bootEpoch_);
+  }
 }
 
 std::optional<std::uint32_t> Switch::scratchRead(std::uint16_t address,

@@ -108,6 +108,22 @@ class Switch : public net::Node {
     return snrCentiDb_.at(port);
   }
 
+  // Host-posted gauge, same pattern as setPortSnr: the attached end-host
+  // (via host::armTracing) posts how many probes it currently has
+  // outstanding into this port; TPPs read it as Link:ProbesInFlight.
+  void setPortProbesInFlight(std::size_t port, std::uint32_t count) {
+    probesInFlight_.at(port) = count;
+  }
+  std::uint32_t portProbesInFlight(std::size_t port) const {
+    return probesInFlight_.at(port);
+  }
+
+  // Arms (nullptr disarms) the flight recorder on this switch: pipeline
+  // records (enqueue/dequeue/drop, TPP execution, reboot) plus
+  // per-instruction TCPU retires, all attributed to an actor named after
+  // this switch.
+  void setTracer(sim::Tracer* tracer);
+
   // ---------------------------------------------------------- telemetry
   const SwitchConfig& config() const { return config_; }
   const SwitchStats& stats() const { return stats_; }
@@ -164,6 +180,9 @@ class Switch : public net::Node {
   std::vector<PortStats> ports_;
   std::vector<PortQueueBank> banks_;
   std::vector<std::uint32_t> snrCentiDb_;
+  std::vector<std::uint32_t> probesInFlight_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint32_t actor_ = 0;
   std::uint32_t bootEpoch_ = 1;
   SwitchStats stats_;
   EgressInterceptor* interceptor_ = nullptr;

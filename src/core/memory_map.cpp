@@ -30,6 +30,16 @@ const MemoryMap& MemoryMap::standard() {
     ro("Switch:PortCount", addr::PortCount, "number of ports");
     ro("Switch:BootEpoch", addr::SwitchBootEpoch,
        "increments on every reboot that wipes scratch SRAM");
+    ro("Switch:SimEventsFired", addr::SimEventsFired,
+       "simulator events executed so far, low 32 bits");
+    ro("Switch:InstrsRetired", addr::TcpuInstrsRetired,
+       "TCPU instructions retired on this switch, low 32 bits");
+    ro("Switch:TppsExecuted", addr::TppsExecuted,
+       "TPPs executed by this switch's TCPU, low 32 bits");
+    ro("Switch:TraceRecords", addr::TraceRecords,
+       "flight-recorder records written, low 32 bits (0 if disarmed)");
+    ro("Switch:TraceDrops", addr::TraceDrops,
+       "flight-recorder records lost to ring wrap (0 if disarmed)");
     // Per-port.
     ro("Link:TxBytes", addr::TxBytes, "bytes transmitted on egress port");
     ro("Link:TxPackets", addr::TxPackets, "packets transmitted on egress");
@@ -50,6 +60,8 @@ const MemoryMap& MemoryMap::standard() {
        "drop-tail bytes lost across all queues of the egress port");
     ro("Link:DroppedPackets", addr::PortDroppedPackets,
        "drop-tail packets lost across all queues of the egress port");
+    ro("Link:ProbesInFlight", addr::ProbesInFlight,
+       "host-posted gauge: probes outstanding toward this port");
     // Per-packet metadata.
     ro("PacketMetadata:InputPort", addr::InputPort, "packet's ingress port");
     ro("PacketMetadata:OutputPort", addr::OutputPort,

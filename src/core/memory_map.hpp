@@ -69,6 +69,15 @@ inline constexpr std::uint16_t PortCount = 0x1009;
 // Robustness extension: increments every time the switch reboots (wiping
 // scratch SRAM), so hosts can detect stale CSTORE/CEXEC state.
 inline constexpr std::uint16_t SwitchBootEpoch = 0x100a;
+// Observability extension (PR 4): simulator/TCPU telemetry a TPP can read
+// back out of the dataplane it is diagnosing. Low 32 bits of each counter.
+inline constexpr std::uint16_t SimEventsFired = 0x100b;
+inline constexpr std::uint16_t TcpuInstrsRetired = 0x100c;
+inline constexpr std::uint16_t TppsExecuted = 0x100d;
+// Flight-recorder ring: records written, and records lost to ring wrap.
+// Both read 0 when no tracer is armed on this switch's simulation.
+inline constexpr std::uint16_t TraceRecords = 0x100e;
+inline constexpr std::uint16_t TraceDrops = 0x100f;
 // Per-port (egress unless noted).
 inline constexpr std::uint16_t TxBytes = 0x2000;
 inline constexpr std::uint16_t TxPackets = 0x2001;
@@ -90,6 +99,9 @@ inline constexpr std::uint16_t WirelessSnr = 0x2009;
 // distinguish "probe dropped here" from "probe lost upstream".
 inline constexpr std::uint16_t PortDroppedBytes = 0x200a;
 inline constexpr std::uint16_t PortDroppedPackets = 0x200b;
+// Host-posted gauge (like Link:SNR): probes the attached end-host currently
+// has outstanding toward this port, posted by telemetry wiring.
+inline constexpr std::uint16_t ProbesInFlight = 0x200c;
 // Per-packet metadata (paper: "0xa000 + {0x1,0x2}").
 inline constexpr std::uint16_t InputPort = 0xa001;
 inline constexpr std::uint16_t OutputPort = 0xa002;

@@ -105,6 +105,17 @@ class Host : public net::Node {
   std::uint64_t bytesReceived() const { return bytesReceived_; }
   std::uint64_t probesEchoed() const { return echoed_; }
 
+  // ------------------------------------------------------------- telemetry
+  // Arms the flight recorder for this host's probe machinery (the
+  // ReliableProber reads the tracer through these accessors on every send
+  // and echo). nullptr disarms.
+  void setTracer(sim::Tracer* tracer) {
+    tracer_ = tracer;
+    actor_ = tracer != nullptr ? tracer->actor(name()) : 0;
+  }
+  sim::Tracer* tracer() const { return tracer_; }
+  std::uint32_t tracerActor() const { return actor_; }
+
  private:
   void deliverUdp(net::Packet& packet);
   void echoExecutedTpp(const net::Packet& packet, std::size_t tppOffset,
@@ -116,6 +127,8 @@ class Host : public net::Node {
   std::map<std::uint16_t, UdpHandler> udpHandlers_;
   std::vector<TppResultHandler> tppResult_;
   std::vector<TppResultHandler> tppArrival_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint32_t actor_ = 0;
   std::uint16_t nextIpId_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;

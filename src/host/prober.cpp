@@ -33,10 +33,22 @@ std::uint32_t ReliableProber::send(const core::Program& program,
   p.retriesLeft = cfg_.maxRetries;
   p.backoff = cfg_.timeout;
   auto [it, inserted] = pending_.emplace(seq, std::move(p));
+  trace(sim::TraceKind::ProbeSend, program.taskId, seq,
+        static_cast<std::uint32_t>(program.instructions.size()),
+        static_cast<std::uint32_t>(it->second.seqIndex));
   transmit(it->second);
   ++sent_;
+  postGauge();
   armTimer(seq, it->second);
   return seq;
+}
+
+void ReliableProber::trace(sim::TraceKind kind, std::uint16_t task,
+                           std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  sim::Tracer* tracer = host_.tracer();
+  if (tracer == nullptr) return;
+  tracer->record(host_.simulator().now(), kind, host_.tracerActor(), task, a,
+                 b, c);
 }
 
 void ReliableProber::transmit(const Pending& p) {
@@ -54,6 +66,7 @@ void ReliableProber::onTimeout(std::uint32_t seq) {
   Pending& p = it->second;
   if (p.retriesLeft == 0) {
     ++losses_;
+    trace(sim::TraceKind::ProbeLoss, p.taggedProgram.taskId, seq);
     auto fn = std::move(p.onLoss);
     // Remember the probe: if an echo shows up after all (a congested queue
     // can inflate RTT well past the give-up time), onEcho salvages it.
@@ -62,11 +75,14 @@ void ReliableProber::onTimeout(std::uint32_t seq) {
         std::move(p.onResult)});
     if (salvage_.size() > kCompletedRing) salvage_.pop_front();
     pending_.erase(it);
+    postGauge();
     if (fn) fn(seq);
     return;
   }
   --p.retriesLeft;
   ++retransmits_;
+  trace(sim::TraceKind::ProbeRetransmit, p.taggedProgram.taskId, seq,
+        p.retriesLeft);
   transmit(p);
   // Capped exponential backoff between retransmissions.
   p.backoff = std::min(p.backoff + p.backoff, cfg_.maxBackoff);
@@ -87,11 +103,15 @@ void ReliableProber::onEcho(const core::ExecutedTpp& tpp) {
       continue;
     }
     p.timer.cancel();
+    trace(sim::TraceKind::ProbeEcho, tpp.header.taskId, it->first,
+          tpp.header.hopNumber,
+          static_cast<std::uint32_t>(tpp.header.faultCode));
     auto fn = std::move(p.onResult);
     completed_.push_back(Fingerprint{it->first, p.seqIndex,
                                      std::move(p.taggedProgram.instructions)});
     if (completed_.size() > kCompletedRing) completed_.pop_front();
     pending_.erase(it);
+    postGauge();
     if (fn) fn(tpp);
     return;
   }
@@ -100,6 +120,9 @@ void ReliableProber::onEcho(const core::ExecutedTpp& tpp) {
       // Echo of a probe we had written off: the loss callback already ran,
       // but the feedback itself is still valid — deliver it.
       ++lateResults_;
+      trace(sim::TraceKind::ProbeLateEcho, tpp.header.taskId, it->fp.seq,
+            tpp.header.hopNumber,
+            static_cast<std::uint32_t>(tpp.header.faultCode));
       auto fn = std::move(it->onResult);
       completed_.push_back(std::move(it->fp));
       if (completed_.size() > kCompletedRing) completed_.pop_front();
@@ -111,6 +134,7 @@ void ReliableProber::onEcho(const core::ExecutedTpp& tpp) {
   for (const auto& f : completed_) {
     if (matches(tpp, f.seq, f.seqIndex, f.instructions)) {
       ++duplicates_;  // late echo of an already-delivered probe
+      trace(sim::TraceKind::ProbeDuplicate, tpp.header.taskId, f.seq);
       return;
     }
   }

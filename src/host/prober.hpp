@@ -57,6 +57,12 @@ class ReliableProber {
   }
 
   std::size_t outstanding() const { return pending_.size(); }
+
+  // Gauge hook: fires whenever the outstanding-probe count changes (send,
+  // echo, loss). Telemetry wiring binds this to the first-hop switch's
+  // Link:ProbesInFlight register so TPPs can read their sender's load.
+  using GaugeFn = std::function<void(std::size_t outstanding)>;
+  void onOutstandingChange(GaugeFn fn) { gauge_ = std::move(fn); }
   std::uint64_t probesSent() const { return sent_; }
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t duplicates() const { return duplicates_; }
@@ -91,6 +97,13 @@ class ReliableProber {
 
   void transmit(const Pending& p);
   void armTimer(std::uint32_t seq, Pending& p);
+  // One flight-recorder record attributed to the owning host; no-op when
+  // the host's tracer is disarmed.
+  void trace(sim::TraceKind kind, std::uint16_t task, std::uint32_t a,
+             std::uint32_t b = 0, std::uint32_t c = 0);
+  void postGauge() {
+    if (gauge_) gauge_(pending_.size());
+  }
   void onTimeout(std::uint32_t seq);
   void onEcho(const core::ExecutedTpp& tpp);
   static bool matches(const core::ExecutedTpp& tpp, std::uint32_t seq,
@@ -99,6 +112,7 @@ class ReliableProber {
 
   Host& host_;
   Config cfg_;
+  GaugeFn gauge_;
   std::uint32_t nextSeq_;
   std::map<std::uint32_t, Pending> pending_;
   // Recently-completed probes, for suppressing late duplicate echoes.

@@ -10,21 +10,41 @@ sim::Time Channel::transmit(PacketPtr packet) {
   const std::size_t wireBytes = packet->size() + kEthernetWireOverhead;
   const sim::Time end = start + sim::transmissionTime(wireBytes, rateBps_);
   busyUntil_ = end;
+  if (tracer_ != nullptr) {
+    const auto endNanos = static_cast<std::uint64_t>(end.nanos());
+    tracer_->record(sim_.now(), sim::TraceKind::LinkTxStart, actor_, 0,
+                    static_cast<std::uint32_t>(wireBytes),
+                    static_cast<std::uint32_t>(endNanos),
+                    static_cast<std::uint32_t>(endNanos >> 32));
+  }
   if (rx_ == nullptr) {
     // Detached mid-teardown: the wire still serializes, the frame goes
     // nowhere. Counted, not dereferenced.
     ++detachedDropped_;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceKind::LinkDetachedDrop, actor_, 0,
+                      static_cast<std::uint32_t>(packet->size()));
+    }
     return end;
   }
   if (fault_ != nullptr) {
     switch (fault_->onTransmit()) {
       case sim::LinkFaultState::Verdict::Drop:
         ++faultDropped_;
+        if (tracer_ != nullptr) {
+          tracer_->record(sim_.now(), sim::TraceKind::LinkFaultDrop, actor_, 0,
+                          static_cast<std::uint32_t>(packet->size()));
+        }
         return end;
       case sim::LinkFaultState::Verdict::Corrupt: {
         const auto [byte, bit] = fault_->corruptionTarget(packet->size());
         if (byte < packet->size()) {
           packet->bytes()[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->record(sim_.now(), sim::TraceKind::LinkFaultCorrupt, actor_,
+                          0, static_cast<std::uint32_t>(byte),
+                          static_cast<std::uint32_t>(bit));
         }
         break;
       }
@@ -44,6 +64,11 @@ sim::Time Channel::transmit(PacketPtr packet) {
                     }
                     ++delivered_;
                     bytesDelivered_ += payloadBytes;
+                    if (tracer_ != nullptr) {
+                      tracer_->record(sim_.now(), sim::TraceKind::LinkDeliver,
+                                      actor_, 0,
+                                      static_cast<std::uint32_t>(payloadBytes));
+                    }
                     rx_->receive(std::move(p), rxPort_);
                   });
   return end;

@@ -38,6 +38,13 @@ class Channel {
   void setFaultState(sim::LinkFaultState* fault) { fault_ = fault; }
   const sim::LinkFaultState* faultState() const { return fault_; }
 
+  // Arms (or disarms, with nullptr) the flight recorder on this channel.
+  // `actor` is the tracer-interned id for this direction's display name.
+  void setTracer(sim::Tracer* tracer, std::uint32_t actor) {
+    tracer_ = tracer;
+    actor_ = actor;
+  }
+
   // Queues `packet` for serialization; returns the time serialization ends
   // (delivery happens propagationDelay later). Serialization time charges
   // the Ethernet preamble/FCS/IFG overhead on top of the buffer size.
@@ -62,6 +69,8 @@ class Channel {
   Node* rx_ = nullptr;
   std::size_t rxPort_ = 0;
   sim::LinkFaultState* fault_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint32_t actor_ = 0;
   sim::Time busyUntil_ = sim::Time::zero();
   std::uint64_t delivered_ = 0;
   std::uint64_t bytesDelivered_ = 0;

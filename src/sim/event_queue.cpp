@@ -45,7 +45,7 @@ std::optional<EventQueue::Fired> EventQueue::tryPop() {
   if (heap_.empty()) return std::nullopt;
   const Entry e = heap_.top();
   heap_.pop();
-  Fired fired{e.at, std::move(slots_[e.slot].fn)};
+  Fired fired{e.at, std::move(slots_[e.slot].fn), e.seq};
   retireSlot(e.slot);  // consumed: handles report !pending()
   return fired;
 }

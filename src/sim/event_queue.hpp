@@ -59,9 +59,14 @@ class EventQueue {
   struct Fired {
     Time at;
     EventFn fn;
+    std::uint64_t seq = 0;  // insertion sequence; keys schedule↔fire traces
   };
   // Pops the earliest live event, or nullopt if none remain.
   std::optional<Fired> tryPop();
+
+  // Sequence number the next push() will get (so callers can trace the seq
+  // of an event they just scheduled as nextSeq() - 1).
+  std::uint64_t nextSeq() const { return nextSeq_; }
 
  private:
   friend class EventHandle;

@@ -9,7 +9,16 @@ EventHandle Simulator::schedule(Time delay, EventFn fn) {
 }
 
 EventHandle Simulator::scheduleAt(Time at, EventFn fn) {
-  return queue_.push(std::max(at, now_), std::move(fn));
+  const Time clamped = std::max(at, now_);
+  EventHandle h = queue_.push(clamped, std::move(fn));
+  if (tracer_ != nullptr) {
+    const auto fireNanos = static_cast<std::uint64_t>(clamped.nanos());
+    tracer_->record(now_, TraceKind::EventSchedule, simActor_, 0,
+                    static_cast<std::uint32_t>(queue_.nextSeq() - 1),
+                    static_cast<std::uint32_t>(fireNanos),
+                    static_cast<std::uint32_t>(fireNanos >> 32));
+  }
+  return h;
 }
 
 std::uint64_t Simulator::run(Time until) {
@@ -20,9 +29,15 @@ std::uint64_t Simulator::run(Time until) {
     auto fired = queue_.tryPop();
     if (!fired) break;
     now_ = fired->at;
+    if (tracer_ != nullptr) {
+      tracer_->record(now_, TraceKind::EventFire, simActor_, 0,
+                      static_cast<std::uint32_t>(fired->seq));
+    }
+    // Counted before the callback so code running inside it (a TPP reading
+    // Switch:SimEventsFired) sees the event that delivered it.
+    ++executed_;
     fired->fn();
     ++n;
-    ++executed_;
   }
   // If we ran out of events before `until`, advance the clock so repeated
   // run(until) calls observe monotonic time.
@@ -37,9 +52,13 @@ std::uint64_t Simulator::runEvents(std::uint64_t maxEvents) {
     auto fired = queue_.tryPop();
     if (!fired) break;
     now_ = fired->at;
+    if (tracer_ != nullptr) {
+      tracer_->record(now_, TraceKind::EventFire, simActor_, 0,
+                      static_cast<std::uint32_t>(fired->seq));
+    }
+    ++executed_;  // see run(): visible to code inside the callback
     fired->fn();
     ++n;
-    ++executed_;
   }
   return n;
 }

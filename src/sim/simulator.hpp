@@ -11,6 +11,7 @@
 
 #include "src/sim/event_queue.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/trace.hpp"
 
 namespace tpp::sim {
 
@@ -39,11 +40,22 @@ class Simulator {
 
   std::uint64_t eventsExecuted() const { return executed_; }
 
+  // Arms the flight recorder on the scheduler itself (EventSchedule /
+  // EventFire records). nullptr disarms; the disarmed cost is one branch
+  // per schedule and per fire.
+  void setTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    simActor_ = tracer != nullptr ? tracer->actor("sim") : 0;
+  }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   EventQueue queue_;
   Time now_ = Time::zero();
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  Tracer* tracer_ = nullptr;
+  std::uint32_t simActor_ = 0;
 };
 
 }  // namespace tpp::sim

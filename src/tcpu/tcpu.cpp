@@ -225,6 +225,12 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
     if (report.fault != Fault::None) break;
     ++report.executed;
     ++instructions_;
+    if (tracer_ != nullptr) {
+      tracer_->record(clock_->now(), sim::TraceKind::TcpuRetire, actor_,
+                      taskId, static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(ins.op), ins.addr,
+                      ins.pmemOff);
+    }
     if (done) break;  // failed CEXEC predicate
   }
 

@@ -13,6 +13,7 @@
 
 #include "src/core/header.hpp"
 #include "src/core/isa.hpp"
+#include "src/sim/simulator.hpp"
 #include "src/tcpu/cycle_model.hpp"
 
 namespace tpp::tcpu {
@@ -58,6 +59,17 @@ class Tcpu {
   // on (§2.3).
   ExecReport execute(core::TppView& view, AddressSpace& memory);
 
+  // Arms per-instruction retire tracing (one record per retired
+  // instruction — the most verbose trace kind, but the one that shows
+  // exactly what a probe did at each hop). `clock` timestamps records;
+  // disarm with (nullptr, 0, nullptr).
+  void setTracer(sim::Tracer* tracer, std::uint32_t actor,
+                 const sim::Simulator* clock) {
+    tracer_ = tracer;
+    actor_ = actor;
+    clock_ = clock;
+  }
+
   const CycleModel& cycleModel() const { return model_; }
 
   // Lifetime counters (per-switch instrumentation).
@@ -88,6 +100,9 @@ class Tcpu {
                                      std::size_t instrWords);
 
   CycleModel model_;
+  sim::Tracer* tracer_ = nullptr;
+  std::uint32_t actor_ = 0;
+  const sim::Simulator* clock_ = nullptr;
   std::vector<CachedProgram> decodeCache_;
   std::vector<std::uint32_t> fetchScratch_;
   std::uint64_t tpps_ = 0;

@@ -1,0 +1,34 @@
+// Rewrites the checked-in golden traces from the scenario definitions in
+// golden_scenarios.cpp. Invoked via the build target:
+//     cmake --build build -t regen-golden
+// which passes tests/golden/ as argv[1]. Review the resulting diff before
+// committing — a golden change IS a behavior change.
+#include <cstdio>
+#include <string>
+
+#include "tests/golden_scenarios.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <golden-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const auto& name : tpp::test::goldenScenarioNames()) {
+    const auto bytes = tpp::test::runGoldenScenario(name);
+    const std::string path = dir + "/" + tpp::test::goldenFileName(name);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (wrote != bytes.size()) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+  }
+  return 0;
+}

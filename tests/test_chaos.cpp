@@ -16,18 +16,14 @@
 #include "src/core/memory_map.hpp"
 #include "src/host/topology.hpp"
 #include "src/sim/fault.hpp"
+#include "tests/test_util.hpp"
 
 namespace tpp {
 namespace {
 
 using host::Testbed;
 
-std::uint64_t baseSeed() {
-  if (const char* s = std::getenv("TPP_CHAOS_SEED")) {
-    return std::strtoull(s, nullptr, 10);
-  }
-  return 1;
-}
+std::uint64_t baseSeed() { return test::chaosSeed(); }
 
 constexpr std::uint64_t kBottleneck = 10'000'000;
 

@@ -1,0 +1,28 @@
+// Shared test helpers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tpp::test {
+
+// The chaos/golden suites derive all randomness from TPP_CHAOS_SEED so a
+// failing seed reproduces bit-for-bit:
+//     TPP_CHAOS_SEED=<seed> ctest -L chaos
+// A malformed value is a hard error, not a silent fallback to some default
+// seed — "reproducing" under the wrong seed is worse than failing loudly.
+inline std::uint64_t chaosSeed(std::uint64_t defaultSeed = 1) {
+  const char* s = std::getenv("TPP_CHAOS_SEED");
+  if (s == nullptr || *s == '\0') return defaultSeed;
+  char* end = nullptr;
+  const std::uint64_t seed = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "TPP_CHAOS_SEED=\"%s\" is not a number\n", s);
+    std::abort();
+  }
+  return seed;
+}
+
+}  // namespace tpp::test
