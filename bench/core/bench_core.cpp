@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "src/core/program.hpp"
 #include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
+#include "src/host/flow.hpp"
 #include "src/host/topology.hpp"
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
@@ -444,6 +446,60 @@ Metric benchChainTppProbes() {
 }
 
 // ------------------------------------------------------------------------
+// 7. Sharded runner: events/sec vs thread count on a k=8 fat tree (128
+// hosts, 80 switches), 32 cross-pod paced flows through the core — the
+// links partitionFatTree cuts. t1 is the single-threaded baseline (the
+// ShardedSimulator 1-shard fast path IS the legacy loop); t2/t4 measure
+// the conservative-lookahead window machinery plus real parallelism when
+// cores are available. On a single-core box t2/t4 report the
+// synchronization overhead honestly rather than a speedup.
+// ------------------------------------------------------------------------
+
+Metric benchShardScaling(std::size_t shards) {
+  constexpr std::size_t k = 8;
+  host::Testbed tb(host::partitionFatTree(k, shards));
+  const auto ix = buildFatTree(
+      tb, k, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+  std::vector<std::unique_ptr<host::PacedFlow>> flows;
+  std::uint16_t port = 20000;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t e = 0; e < ix.radix(); ++e) {
+      host::Host& dst = tb.host(ix.host((p + 1) % k, e, 1));
+      host::FlowSpec spec;
+      spec.dstMac = dst.mac();
+      spec.dstIp = dst.ip();
+      spec.srcPort = port;
+      spec.dstPort = port;
+      ++port;
+      spec.payloadBytes = 1000;
+      spec.rateBps = 100e6;
+      flows.push_back(std::make_unique<host::PacedFlow>(
+          tb.host(ix.host(p, e, 0)), spec, flows.size() + 1));
+      flows.back()->start(sim::Time::zero());
+    }
+  }
+  const auto allocs0 = g_allocCount.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  tb.run(sim::Time::ms(40));
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto allocs1 = g_allocCount.load(std::memory_order_relaxed);
+  for (auto& f : flows) f->stop();
+  const std::uint64_t events = tb.sharded().eventsExecuted();
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  Metric m;
+  m.name = "shard_events_per_sec_t" + std::to_string(shards);
+  m.ops = events;
+  m.nsPerOp = ns / static_cast<double>(events);
+  m.opsPerSec = m.nsPerOp > 0 ? 1e9 / m.nsPerOp : 0;
+  m.allocsPerOp =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(events);
+  std::printf("  %-28s %10.1f ns/op  %12.0f ops/s  %6.2f allocs/op\n",
+              m.name.c_str(), m.nsPerOp, m.opsPerSec, m.allocsPerOp);
+  return m;
+}
+
+// ------------------------------------------------------------------------
 // JSON output
 // ------------------------------------------------------------------------
 
@@ -491,6 +547,9 @@ int main(int argc, char** argv) {
   for (auto& m : benchVerify()) metrics.push_back(std::move(m));
   metrics.push_back(benchChainUdp());
   metrics.push_back(benchChainTppProbes());
+  for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    metrics.push_back(benchShardScaling(t));
+  }
   writeJson(out, metrics);
   std::printf("wrote %s (%zu metrics)\n", out, metrics.size());
 

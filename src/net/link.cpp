@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sim/shard.hpp"
+
 namespace tpp::net {
 
 sim::Time Channel::transmit(PacketPtr packet) {
@@ -20,7 +22,7 @@ sim::Time Channel::transmit(PacketPtr packet) {
   if (rx_ == nullptr) {
     // Detached mid-teardown: the wire still serializes, the frame goes
     // nowhere. Counted, not dereferenced.
-    ++detachedDropped_;
+    ++txDetachedDropped_;
     if (tracer_ != nullptr) {
       tracer_->record(sim_.now(), sim::TraceKind::LinkDetachedDrop, actor_, 0,
                       static_cast<std::uint32_t>(packet->size()));
@@ -54,23 +56,31 @@ sim::Time Channel::transmit(PacketPtr packet) {
   }
   const std::size_t payloadBytes = packet->size();
   // Deliver after serialization + propagation. EventFn is move-aware, so
-  // the packet rides in the closure directly — no heap shim.
-  sim_.scheduleAt(end + propDelay_,
-                  [this, p = std::move(packet), payloadBytes]() mutable {
-                    if (rx_ == nullptr) {
-                      // Receiver detached while the frame was in flight.
-                      ++detachedDropped_;
-                      return;
-                    }
-                    ++delivered_;
-                    bytesDelivered_ += payloadBytes;
-                    if (tracer_ != nullptr) {
-                      tracer_->record(sim_.now(), sim::TraceKind::LinkDeliver,
-                                      actor_, 0,
-                                      static_cast<std::uint32_t>(payloadBytes));
-                    }
-                    rx_->receive(std::move(p), rxPort_);
-                  });
+  // the packet rides in the closure directly — no heap shim. The closure
+  // timestamps with its (captured) fire instant rather than sim_.now(): the
+  // two are equal on the same-shard path, and across shards the receiving
+  // simulator's clock is the right one anyway.
+  const sim::Time deliverAt = end + propDelay_;
+  auto deliver = [this, p = std::move(packet), payloadBytes,
+                  deliverAt]() mutable {
+    if (rx_ == nullptr) {
+      // Receiver detached while the frame was in flight.
+      ++rxDetachedDropped_;
+      return;
+    }
+    ++delivered_;
+    bytesDelivered_ += payloadBytes;
+    if (rxTracer_ != nullptr) {
+      rxTracer_->record(deliverAt, sim::TraceKind::LinkDeliver, rxActor_, 0,
+                        static_cast<std::uint32_t>(payloadBytes));
+    }
+    rx_->receive(std::move(p), rxPort_);
+  };
+  if (crossShard_ != nullptr) {
+    crossShard_->push(deliverAt, std::move(deliver));
+  } else {
+    sim_.scheduleAt(deliverAt, std::move(deliver));
+  }
   return end;
 }
 
@@ -85,11 +95,19 @@ std::unique_ptr<DuplexLink> DuplexLink::connect(sim::Simulator& simulator,
                                                 Node& b, std::size_t portB,
                                                 std::uint64_t rateBps,
                                                 sim::Time propagationDelay) {
+  return connect(simulator, simulator, a, portA, b, portB, rateBps,
+                 propagationDelay);
+}
+
+std::unique_ptr<DuplexLink> DuplexLink::connect(sim::Simulator& simA,
+                                                sim::Simulator& simB, Node& a,
+                                                std::size_t portA, Node& b,
+                                                std::size_t portB,
+                                                std::uint64_t rateBps,
+                                                sim::Time propagationDelay) {
   auto link = std::unique_ptr<DuplexLink>(new DuplexLink);
-  link->aToB_ =
-      std::make_unique<Channel>(simulator, rateBps, propagationDelay);
-  link->bToA_ =
-      std::make_unique<Channel>(simulator, rateBps, propagationDelay);
+  link->aToB_ = std::make_unique<Channel>(simA, rateBps, propagationDelay);
+  link->bToA_ = std::make_unique<Channel>(simB, rateBps, propagationDelay);
   link->aToB_->attachReceiver(&b, portB);
   link->bToA_->attachReceiver(&a, portA);
   a.attachPort(portA, link->aToB_.get());

@@ -7,7 +7,10 @@ namespace {
 
 // Freelist of dead packets awaiting reuse. Function-local static so the
 // pool outlives every translation-unit-scoped PacketPtr; bounded so a
-// transient burst cannot pin memory forever.
+// transient burst cannot pin memory forever. thread_local because sharded
+// runs allocate and recycle packets from several simulation threads at
+// once: each thread gets a private freelist (a packet released on thread B
+// simply joins B's pool — delete/new are the only cross-thread traffic).
 constexpr std::size_t kMaxPooled = 4096;
 
 struct Pool {
@@ -19,14 +22,18 @@ struct Pool {
 };
 
 Pool& pool() {
-  static Pool p;
+  thread_local Pool p;
   return p;
 }
 
 }  // namespace
 
 std::uint64_t& Packet::nextId() {
-  static std::uint64_t id = 1;
+  // Per-thread: ids only need to be unique-enough for debugging output
+  // (nothing branches on them), and a shared counter would be a data race
+  // under sharding. Worker threads are created fresh per run() in shard
+  // order, so ids stay reproducible too.
+  thread_local std::uint64_t id = 1;
   return id;
 }
 

@@ -1,0 +1,156 @@
+#include "src/sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+namespace tpp::sim {
+
+ShardedSimulator::ShardedSimulator(std::size_t shardCount) {
+  if (shardCount == 0) shardCount = 1;
+  shards_.reserve(shardCount);
+  for (std::size_t i = 0; i < shardCount; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  inboxes_.resize(shardCount);
+}
+
+CrossShardChannel& ShardedSimulator::addChannel(std::size_t fromShard,
+                                                std::size_t toShard,
+                                                Time minLatency) {
+  assert(fromShard < shards_.size() && toShard < shards_.size());
+  assert(fromShard != toShard && "same-shard traffic never crosses a channel");
+  assert(minLatency > Time::zero() &&
+         "conservative lookahead needs a positive cross-shard latency");
+  channels_.push_back(
+      std::make_unique<CrossShardChannel>(fromShard, toShard, minLatency));
+  CrossShardChannel& ch = *channels_.back();
+  inboxes_[toShard].push_back(&ch);
+  lookahead_ = std::min(lookahead_, minLatency);
+  return ch;
+}
+
+std::uint64_t ShardedSimulator::eventsExecuted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->eventsExecuted();
+  return n;
+}
+
+Time ShardedSimulator::now() const {
+  Time t = Time::zero();
+  for (const auto& s : shards_) t = std::max(t, s->now());
+  return t;
+}
+
+Time ShardedSimulator::nextPendingTime() {
+  Time next = Time::max();
+  for (const auto& s : shards_) next = std::min(next, s->nextEventTime());
+  for (const auto& ch : channels_) {
+    if (const auto* m = ch->peek()) next = std::min(next, m->at);
+  }
+  return next;
+}
+
+std::uint64_t ShardedSimulator::run(Time until) {
+  // The single-shard path is the legacy path, bit for bit: same thread,
+  // same Simulator::run loop, no barriers, no channels.
+  if (shards_.size() == 1 && channels_.empty()) return shards_[0]->run(until);
+  return runParallel(until);
+}
+
+std::uint64_t ShardedSimulator::runParallel(Time until) {
+  const std::uint64_t before = eventsExecuted();
+  stopRequested_.store(false, std::memory_order_relaxed);
+
+  // Window control block. Written only in single-threaded phases and the
+  // barrier completion step; the barrier's phase transition publishes it
+  // to every worker.
+  struct Control {
+    Time windowEnd = Time::zero();
+    bool done = false;
+    bool tailAdvance = false;  // advance clocks to `until` after the loop
+  } ctl;
+
+  Time processed = Time::zero();  // P: all events with t <= P are done
+  for (const auto& s : shards_) processed = std::max(processed, s->now());
+  // The first window may (re)process events at exactly the current clock,
+  // so back P off by one tick to keep "producers at t > P" literally true.
+  processed = processed - Time::ns(1);
+
+  const Time first = nextPendingTime();
+  if (first == Time::max() || first > until || until <= processed) {
+    if (until != Time::max()) {
+      for (auto& s : shards_) s->run(until);  // clock advance only
+    }
+    return eventsExecuted() - before;
+  }
+
+  const Time la = lookahead_;
+  assert((channels_.empty() || la > Time::zero()) && "unset lookahead");
+  const auto nextWindow = [until, la](Time p, Time next) {
+    // Events in (P, E] with E <= max(P, next-1) + L create cross-shard
+    // messages due strictly after E; `next` jumps dead air in one step.
+    // The sum saturates: with no channels la is Time::max() ("one window
+    // covers everything"), and near-horizon bases must not overflow.
+    const Time base = std::max(p, next - Time::ns(1));
+    const Time horizon =
+        (la == Time::max() ||
+         base.nanos() > Time::max().nanos() - la.nanos())
+            ? Time::max()
+            : base + la;
+    return std::min(until, std::max(horizon, next));
+  };
+  ctl.windowEnd = nextWindow(processed, first);
+
+  auto onPhase = [this, &ctl, &processed, until, nextWindow,
+                  la]() noexcept {
+    (void)la;
+    bool stopped = stopRequested_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) stopped = stopped || s->stopped();
+    if (stopped) {
+      ctl.done = true;
+      return;
+    }
+    processed = ctl.windowEnd;
+    const Time next = nextPendingTime();
+    if (next == Time::max() || next > until) {
+      ctl.done = true;
+      ctl.tailAdvance = until != Time::max();
+      return;
+    }
+    ctl.windowEnd = nextWindow(processed, next);
+  };
+  std::barrier bar(static_cast<std::ptrdiff_t>(shards_.size()), onPhase);
+
+  auto worker = [this, &ctl, &bar, until](std::size_t idx) {
+    Simulator& s = *shards_[idx];
+    while (true) {
+      // Merge arrivals due in this window. Conservative lookahead
+      // guarantees they were all pushed before the previous barrier;
+      // anything a concurrent producer appends now is due later than
+      // windowEnd and stays queued (per-channel times are monotone).
+      for (CrossShardChannel* ch : inboxes_[idx]) {
+        while (CrossShardChannel::Message* m = ch->peek()) {
+          if (m->at > ctl.windowEnd) break;
+          s.scheduleAt(m->at, std::move(m->fn));
+          ch->pop();
+        }
+      }
+      s.run(ctl.windowEnd);
+      bar.arrive_and_wait();
+      if (ctl.done) break;
+    }
+    if (ctl.tailAdvance) s.run(until);  // no events left <= until: clock only
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    threads.emplace_back(worker, i);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+  return eventsExecuted() - before;
+}
+
+}  // namespace tpp::sim

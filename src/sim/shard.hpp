@@ -1,0 +1,140 @@
+// Sharded parallel simulation with conservative lookahead.
+//
+// The topology is partitioned into shards (groups of switches/hosts), each
+// owning a private Simulator — clock, event queue, components. Shards run
+// on their own threads in lockstep *windows*: every shard processes all
+// events with t <= E, then all shards meet at a barrier, then the next
+// window bound E' is computed from global state. Cross-shard packets travel
+// as timestamped callbacks over lock-free SPSC channels (one per cross-shard
+// link direction) and are merged into the destination shard's event queue
+// at window boundaries.
+//
+// Why this is safe (conservative lookahead): every cross-shard hand-off is
+// a link transit, so a message created by an event at time t is delivered
+// no earlier than t + minLatency (the link's propagation delay). With
+// L = min over all cross-shard channels of minLatency, a window bounded by
+// E <= P + L (P = everything processed so far) can only *create* messages
+// due strictly after E — so draining each inbox up to E at the window start
+// is complete, and no shard ever needs to roll back.
+//
+// Why this is deterministic for a fixed (seed, partition): window bounds
+// are pure functions of global simulation state at barriers; each inbox is
+// drained in registration order up to the window bound; within an inbox,
+// messages sit in the producer shard's (deterministic) execution order; and
+// per-channel delivery times are monotone, so "drain while head <= E" pops
+// an exact, run-independent prefix even while an upstream producer is
+// concurrently appending later messages.
+//
+// A 1-shard ShardedSimulator::run() is a direct call into Simulator::run()
+// on the calling thread — bit-identical to the legacy single-threaded path
+// (the golden-trace suite pins this).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/event_fn.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/spsc.hpp"
+#include "src/sim/time.hpp"
+
+namespace tpp::sim {
+
+// One direction of a shard boundary: a single producer shard hands
+// timestamped callbacks to a single consumer shard. Delivery times pushed
+// into one channel must be monotone non-decreasing (link serialization
+// guarantees this: busyUntil never moves backwards), which the windowed
+// drain relies on.
+class CrossShardChannel {
+ public:
+  struct Message {
+    Time at;
+    EventFn fn;
+  };
+
+  CrossShardChannel(std::size_t fromShard, std::size_t toShard,
+                    Time minLatency)
+      : from_(fromShard), to_(toShard), minLatency_(minLatency) {}
+
+  // Producer side (the transmitting shard's thread).
+  void push(Time at, EventFn fn) {
+    assert(at >= lastPushed_ && "per-channel delivery times must be monotone");
+    lastPushed_ = at;
+    queue_.push(Message{at, std::move(fn)});
+  }
+
+  // Consumer side (the receiving shard's thread, or the barrier completion
+  // step, which is exclusive).
+  Message* peek() { return queue_.peek(); }
+  void pop() { queue_.pop(); }
+
+  std::size_t fromShard() const { return from_; }
+  std::size_t toShard() const { return to_; }
+  Time minLatency() const { return minLatency_; }
+
+ private:
+  std::size_t from_;
+  std::size_t to_;
+  Time minLatency_;
+  Time lastPushed_ = Time::zero();  // producer-side debug check only
+  SpscQueue<Message> queue_;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(std::size_t shardCount = 1);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  std::size_t shardCount() const { return shards_.size(); }
+  Simulator& shard(std::size_t i) { return *shards_.at(i); }
+  const Simulator& shard(std::size_t i) const { return *shards_.at(i); }
+
+  // Registers a fresh SPSC channel from one shard to another, carrying
+  // events that are delayed by at least `minLatency` (> 0). Each physical
+  // link direction gets its own channel so per-channel delivery times stay
+  // monotone. Setup-time only; the returned reference is stable.
+  CrossShardChannel& addChannel(std::size_t fromShard, std::size_t toShard,
+                                Time minLatency);
+
+  // The conservative lookahead bound: min over registered channels.
+  Time lookahead() const { return lookahead_; }
+
+  // Runs every shard until its queue drains, `until` is reached, or stop()
+  // is requested. Returns the number of events executed across all shards.
+  // With one shard this is exactly Simulator::run() on the calling thread;
+  // with N > 1 it spawns N-1 worker threads (the caller drives shard 0)
+  // and synchronizes in lookahead windows.
+  std::uint64_t run(Time until = Time::max());
+
+  // Requests that a parallel run stop at the next window barrier. Safe to
+  // call from an event callback on any shard.
+  void stop() { stopRequested_.store(true, std::memory_order_relaxed); }
+
+  // Sum of per-shard executed-event counters (valid between runs).
+  std::uint64_t eventsExecuted() const;
+
+  // Latest shard clock (valid between runs).
+  Time now() const;
+
+ private:
+  // Earliest pending instant across shard queues and channel heads. Only
+  // called when every shard thread is quiescent (single-threaded phases
+  // and barrier completion steps).
+  Time nextPendingTime();
+
+  std::uint64_t runParallel(Time until);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::unique_ptr<CrossShardChannel>> channels_;
+  // Per destination shard, its inbound channels in registration order (the
+  // deterministic drain order).
+  std::vector<std::vector<CrossShardChannel*>> inboxes_;
+  Time lookahead_ = Time::max();
+  std::atomic<bool> stopRequested_{false};
+};
+
+}  // namespace tpp::sim

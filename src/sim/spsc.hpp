@@ -1,0 +1,114 @@
+// Lock-free single-producer/single-consumer queue.
+//
+// The shard boundary primitive: one simulation thread pushes timestamped
+// callbacks, exactly one other pops them (the receiver/logger split idiom —
+// one writer, one reader, no locks on the hot path). The queue is unbounded
+// via a linked list of fixed-size segments, so a producer can never block
+// on a consumer that is parked at a synchronization barrier — a bounded
+// ring + spin would deadlock there. Steady state runs inside one segment
+// (no allocation); a burst that outgrows it links a fresh segment, which
+// the consumer frees once drained.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// the segment's `tail` (or of `next` when it opens a segment); the consumer
+// acquires either before touching slot bytes. `head` is consumer-local and
+// `tail_`/`head_` segment pointers are owned by their respective sides, so
+// every non-atomic field has exactly one writing thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace tpp::sim {
+
+template <typename T, std::size_t SegmentSlots = 512>
+class SpscQueue {
+  static_assert(SegmentSlots >= 1);
+
+ public:
+  SpscQueue() : head_(new Segment), tail_(head_) {}
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    // Teardown is single-threaded by contract (both sides quiesced).
+    Segment* s = head_;
+    while (s != nullptr) {
+      const std::size_t end = s->tail.load(std::memory_order_relaxed);
+      for (std::size_t i = s->head; i < end; ++i) s->slot(i)->~T();
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  // Producer side. Never blocks, never fails.
+  void push(T value) {
+    Segment* s = tail_;
+    const std::size_t t = s->tail.load(std::memory_order_relaxed);
+    if (t < SegmentSlots) {
+      ::new (s->rawSlot(t)) T(std::move(value));
+      s->tail.store(t + 1, std::memory_order_release);
+      return;
+    }
+    auto* fresh = new Segment;
+    ::new (fresh->rawSlot(0)) T(std::move(value));
+    fresh->tail.store(1, std::memory_order_relaxed);
+    // Publishing `next` releases the fresh segment's contents too.
+    s->next.store(fresh, std::memory_order_release);
+    tail_ = fresh;
+  }
+
+  // Consumer side: the front element, or nullptr when empty. The pointer
+  // stays valid until pop(). Retires drained segments as a side effect.
+  T* peek() {
+    Segment* s = head_;
+    if (s->head == SegmentSlots) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) return nullptr;
+      // The producer moved on when it linked `next`; it never touches a
+      // filled segment again, so the consumer may free it.
+      delete s;
+      head_ = s = next;
+    }
+    if (s->head == s->tail.load(std::memory_order_acquire)) return nullptr;
+    return s->slot(s->head);
+  }
+
+  // Consumer side. Precondition: the immediately preceding peek() on this
+  // thread returned non-null.
+  void pop() {
+    Segment* s = head_;
+    s->slot(s->head)->~T();
+    ++s->head;
+  }
+
+  // Consumer side (or any thread that is fully synchronized with both
+  // sides, e.g. inside a barrier's completion step).
+  bool empty() { return peek() == nullptr; }
+
+ private:
+  struct Segment {
+    // Producer-written fields on their own cache line; `head` is written
+    // only by the consumer.
+    alignas(64) std::atomic<std::size_t> tail{0};
+    std::atomic<Segment*> next{nullptr};
+    alignas(64) std::size_t head = 0;
+    alignas(alignof(T)) unsigned char storage[SegmentSlots * sizeof(T)];
+
+    void* rawSlot(std::size_t i) {  // construction address (no object yet)
+      return static_cast<void*>(storage + i * sizeof(T));
+    }
+    T* slot(std::size_t i) {  // access to a constructed element
+      return std::launder(reinterpret_cast<T*>(storage + i * sizeof(T)));
+    }
+  };
+
+  alignas(64) Segment* head_;  // consumer-owned
+  alignas(64) Segment* tail_;  // producer-owned
+};
+
+}  // namespace tpp::sim
