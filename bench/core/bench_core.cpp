@@ -28,10 +28,12 @@
 #include "src/apps/microburst.hpp"
 #include "src/apps/ndb.hpp"
 #include "src/apps/rcpstar.hpp"
+#include "src/core/memory_map.hpp"
 #include "src/core/program.hpp"
 #include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 #include "src/host/flow.hpp"
+#include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
@@ -446,6 +448,40 @@ Metric benchChainTppProbes() {
 }
 
 // ------------------------------------------------------------------------
+// 6b. SRAM race-oracle overhead on the probe round trip: disarmed (one
+// null check per scratch access, the fault/trace discipline) vs. armed
+// (one flags-merge append per access). The probe plain-writes one global
+// scratch word per hop, so every transit crosses the instrumented path.
+// Gate: disarmed must track chain_tpp_probe_rtt — the oracle is free
+// when nothing cross-checks.
+// ------------------------------------------------------------------------
+
+Metric benchOracleCheck(const std::string& name, bool armed) {
+  return measure(name, 30'000, [armed](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 3, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    host::SramOracleSet oracles(tb.switchCount());
+    if (armed) host::armSramOracle(tb, oracles);
+    core::ProgramBuilder b;
+    b.storeImm(core::kSramBase, 7);
+    const auto program = *b.build();
+    std::uint64_t echoed = 0;
+    tb.host(0).onTppResult([&](const core::ExecutedTpp&) { ++echoed; });
+    constexpr std::uint64_t kBatch = 1'000;
+    for (std::uint64_t done = 0; done < ops;) {
+      const std::uint64_t n = std::min(kBatch, ops - done);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+      }
+      tb.sim().run();
+      done += n;
+    }
+    if (echoed != ops) std::abort();
+    if (armed && oracles.accesses() == 0) std::abort();
+  });
+}
+
+// ------------------------------------------------------------------------
 // 7. Sharded runner: events/sec vs thread count on a k=8 fat tree (128
 // hosts, 80 switches), 32 cross-pod paced flows through the core — the
 // links partitionFatTree cuts. t1 is the single-threaded baseline (the
@@ -527,10 +563,113 @@ void writeJson(const char* path, const std::vector<Metric>& metrics) {
   std::fclose(f);
 }
 
+// ------------------------------------------------------------------------
+// Baseline comparison (--check BENCH_core.json): the perf-regression gate.
+//
+// Wall-clock differs across machines, so times are compared as ratios
+// against the link_transit_1500B anchor from the *same* run: a metric
+// regresses when (metric / anchor) grows past kTimeTolerance times the
+// baseline's ratio. Allocation counts are machine-independent and gated
+// absolutely. shard t2/t4 depend on the runner's core count, so only
+// their allocation counts are gated.
+// ------------------------------------------------------------------------
+
+constexpr double kTimeTolerance = 1.75;
+constexpr double kAllocSlack = 0.5;
+
+// Pulls "<name>": {"ns_per_op": X, ..., "allocs_per_op": Y out of the
+// baseline file — the JSON is our own writeJson output, so a string scan
+// is a complete parser for it.
+bool baselineFor(const std::string& json, const std::string& name,
+                 double& nsPerOp, double& allocsPerOp) {
+  const auto key = "\"" + name + "\": {";
+  const auto at = json.find(key);
+  if (at == std::string::npos) return false;
+  const auto end = json.find('}', at);
+  const std::string entry = json.substr(at, end - at);
+  const auto ns = entry.find("\"ns_per_op\": ");
+  const auto al = entry.find("\"allocs_per_op\": ");
+  if (ns == std::string::npos || al == std::string::npos) return false;
+  nsPerOp = std::strtod(entry.c_str() + ns + 13, nullptr);
+  allocsPerOp = std::strtod(entry.c_str() + al + 17, nullptr);
+  return true;
+}
+
+int checkAgainstBaseline(const std::vector<Metric>& metrics,
+                         const char* path) {
+  std::string json;
+  {
+    FILE* f = std::fopen(path, "rb");
+    if (!f) {
+      std::fprintf(stderr, "bench_core: cannot read baseline %s\n", path);
+      return 2;
+    }
+    char buf[4096];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+      json.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  double anchorBase = 0;
+  double anchorAllocs = 0;
+  const Metric* anchor = nullptr;
+  for (const auto& m : metrics) {
+    if (m.name == "link_transit_1500B") anchor = &m;
+  }
+  if (anchor == nullptr ||
+      !baselineFor(json, "link_transit_1500B", anchorBase, anchorAllocs)) {
+    std::fprintf(stderr, "bench_core: baseline %s lacks the anchor metric\n",
+                 path);
+    return 2;
+  }
+  int failures = 0;
+  std::size_t compared = 0;
+  for (const auto& m : metrics) {
+    double baseNs = 0;
+    double baseAllocs = 0;
+    if (!baselineFor(json, m.name, baseNs, baseAllocs)) {
+      std::printf("  %-28s (new metric, no baseline — skipped)\n",
+                  m.name.c_str());
+      continue;
+    }
+    ++compared;
+    if (m.allocsPerOp > baseAllocs + kAllocSlack) {
+      std::fprintf(stderr,
+                   "FAIL: %s allocs/op %.3f exceeds baseline %.3f + %.1f\n",
+                   m.name.c_str(), m.allocsPerOp, baseAllocs, kAllocSlack);
+      ++failures;
+    }
+    const bool threadDependent = m.name == "shard_events_per_sec_t2" ||
+                                 m.name == "shard_events_per_sec_t4";
+    if (threadDependent || m.name == "link_transit_1500B") continue;
+    const double ratio = m.nsPerOp / anchor->nsPerOp;
+    const double baseRatio = baseNs / anchorBase;
+    if (ratio > baseRatio * kTimeTolerance) {
+      std::fprintf(stderr,
+                   "FAIL: %s at %.2fx the transit anchor vs %.2fx in the "
+                   "baseline (tolerance %.2fx)\n",
+                   m.name.c_str(), ratio, baseRatio, kTimeTolerance);
+      ++failures;
+    }
+  }
+  std::printf("baseline check: %zu metrics compared against %s, %d "
+              "regression%s\n",
+              compared, path, failures, failures == 1 ? "" : "s");
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out = argc > 1 ? argv[1] : "BENCH_core.json";
+  const char* out = "BENCH_core.json";
+  const char* baseline = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    } else {
+      out = argv[i];
+    }
+  }
   std::printf("core hot-path microbenchmarks\n");
   std::vector<Metric> metrics;
   metrics.push_back(benchEventScheduleFire());
@@ -547,6 +686,8 @@ int main(int argc, char** argv) {
   for (auto& m : benchVerify()) metrics.push_back(std::move(m));
   metrics.push_back(benchChainUdp());
   metrics.push_back(benchChainTppProbes());
+  metrics.push_back(benchOracleCheck("oracle_check_off", false));
+  metrics.push_back(benchOracleCheck("oracle_check_on", true));
   for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     metrics.push_back(benchShardScaling(t));
   }
@@ -574,5 +715,22 @@ int main(int argc, char** argv) {
                  off->nsPerOp, transit->nsPerOp);
     return 1;
   }
+
+  // Same discipline for the SRAM race oracle: a probe round trip with the
+  // oracle compiled in but disarmed must cost what the plain TPP probe
+  // round trip costs — each scratch access adds one never-taken null check.
+  const Metric* probe = find("chain_tpp_probe_rtt");
+  const Metric* oracleOff = find("oracle_check_off");
+  if (probe != nullptr && oracleOff != nullptr &&
+      oracleOff->nsPerOp > probe->nsPerOp * 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: oracle_check_off %.1f ns/op exceeds 1.25x "
+                 "chain_tpp_probe_rtt %.1f ns/op — disarmed race oracle is "
+                 "not free\n",
+                 oracleOff->nsPerOp, probe->nsPerOp);
+    return 1;
+  }
+
+  if (baseline != nullptr) return checkAgainstBaseline(metrics, baseline);
   return 0;
 }

@@ -1,0 +1,10 @@
+# Interference fixture: mutates the RCP lock word with CSTORE but never
+# reads [Switch:BootEpoch], so a reboot that wipes the lock cannot be told
+# apart from a held lock (the stuck-lock deadlock of the Minions paper).
+# Rejected by `tppverify --interference` with [lock-no-epoch-check]; the
+# bundled RCP* lock programs push the epoch every hop for exactly this
+# reason.
+.task 9
+CEXEC [Switch:SwitchID], 0xFFFFFFFF, 4
+CSTORE [Link:RCP-LockRegister], 0, 9
+STORE [Link:RCP-RateRegister], 500

@@ -1,0 +1,6 @@
+# Interference fixture, task A of a write-write race: plain-writes the
+# shared scratch word that race_write_write_b.tpp (a different task) also
+# plain-writes. Each program verifies clean in isolation — only
+# `tppverify --interference a b` sees the deployment-level conflict.
+.task 7
+STORE [Sram:Word0], 42

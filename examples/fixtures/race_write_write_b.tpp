@@ -1,0 +1,5 @@
+# Interference fixture, task B of a write-write race: see
+# race_write_write_a.tpp. Last writer silently wins — rejected by
+# `tppverify --interference` with a [write-write] error naming both tasks.
+.task 8
+STORE [Sram:Word0], 7

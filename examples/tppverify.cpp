@@ -9,14 +9,28 @@
 // verifies clean, 1 when any input has errors (or warnings with --werror),
 // 2 on usage/IO problems.
 //
+// Deployment mode — whole-set interference analysis instead of per-program
+// checks:
+//
+//   $ ./tppverify --interference taskA.tpp taskB.tpp   # each file = 1 task
+//   $ ./tppverify --interference --apps                # the shipped 6 apps
+//   $ ./tppverify --interference --apps candidate.tpp  # admit a newcomer?
+//
+// Every file is assembled, verified, summarized into its switch-memory
+// effects, and the set is checked pairwise for write-write races, lost
+// updates against CSTORE words, unguarded read-write sharing, and lock
+// discipline (the standard RCP lock word is always declared). --apps adds
+// the six bundled tasks' programs to the set. Exit 1 on any conflict error.
+//
 // Options:
 //   --hops N       hop budget to prove stack/record growth over (default 8)
 //   --mtu N        wire-byte budget (default 1500)
-//   --task N       override the .task id the grants are checked against
 //   --no-CHECK     disable one check: budget, stack-growth,
 //                  write-permission, address-range, use-before-init
 //   --werror       treat warnings as errors
 //   --quiet        suppress the per-file "ok" lines
+//   --interference deployment mode (see above)
+//   --apps         with --interference: include the shipped six-app set
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,7 +40,9 @@
 #include <variant>
 #include <vector>
 
+#include "src/apps/deployment.hpp"
 #include "src/core/assembler.hpp"
+#include "src/core/interference.hpp"
 #include "src/core/memory_map.hpp"
 #include "src/core/verifier.hpp"
 
@@ -43,8 +59,35 @@ int usage(int status) {
                "usage: tppverify [--hops N] [--mtu N] [--werror] [--quiet]\n"
                "                 [--no-budget] [--no-stack-growth]\n"
                "                 [--no-write-permission] [--no-address-range]\n"
-               "                 [--no-use-before-init] FILE... | -\n");
+               "                 [--no-use-before-init] FILE... | -\n"
+               "       tppverify --interference [--apps] [--hops N]\n"
+               "                 [--werror] [--quiet] [FILE...]\n");
   return status;
+}
+
+bool readSource(const std::string& file, std::string& out) {
+  if (file == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    out = buf.str();
+    return true;
+  }
+  std::ifstream in(file);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+std::string baseName(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tpp") == 0) {
+    name.resize(name.size() - 4);
+  }
+  return name;
 }
 
 }  // namespace
@@ -52,6 +95,8 @@ int usage(int status) {
 int main(int argc, char** argv) {
   tpp::core::VerifyOptions opts;
   bool quiet = false;
+  bool interference = false;
+  bool withApps = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +111,10 @@ int main(int argc, char** argv) {
       opts.werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--interference") {
+      interference = true;
+    } else if (arg == "--apps") {
+      withApps = true;
     } else if (arg == "--hops") {
       if (!numberArg(opts.maxHops)) return usage(2);
     } else if (arg == "--mtu") {
@@ -91,26 +140,87 @@ int main(int argc, char** argv) {
       return usage(2);
     }
   }
-  if (files.empty()) return usage(2);
+  if (withApps && !interference) {
+    std::fprintf(stderr, "tppverify: --apps requires --interference\n");
+    return usage(2);
+  }
+  if (files.empty() && !withApps) return usage(2);
 
   const auto& map = tpp::core::MemoryMap::standard();
   bool anyErrors = false;
 
-  for (const auto& file : files) {
-    std::string source;
-    if (file == "-") {
-      std::ostringstream buf;
-      buf << std::cin.rdbuf();
-      source = buf.str();
-    } else {
-      std::ifstream in(file);
-      if (!in) {
+  // --------------------------------------------- deployment analysis mode
+  if (interference) {
+    tpp::apps::Deployment dep = withApps
+                                    ? tpp::apps::shippedDeployment()
+                                    : tpp::apps::Deployment{
+                                          {}, tpp::apps::standardLockOptions()};
+    for (const auto& file : files) {
+      std::string source;
+      if (!readSource(file, source)) {
         std::fprintf(stderr, "tppverify: cannot read %s\n", file.c_str());
         return 2;
       }
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      source = buf.str();
+      const std::string label = file == "-" ? "<stdin>" : file;
+      std::vector<int> lines;
+      tpp::core::AssembleOptions aopts;
+      aopts.outInstructionLines = &lines;
+      auto assembled = tpp::core::assemble(source, map, aopts);
+      if (const auto* err =
+              std::get_if<tpp::core::AssemblyError>(&assembled)) {
+        std::fprintf(stderr, "%s:%d: error: [assemble] %s\n", label.c_str(),
+                     err->line, err->message.c_str());
+        anyErrors = true;
+        continue;
+      }
+      const auto& program = std::get<tpp::core::Program>(assembled);
+      // Per-program verification still applies: a deployment of faulting
+      // programs is not worth analyzing for interference.
+      auto vopts = opts;
+      vopts.instructionLines = lines;
+      const auto result = tpp::core::verify(program, map, vopts);
+      for (const auto& d : result.diagnostics) {
+        std::fprintf(stderr, "%s\n",
+                     tpp::core::formatDiagnostic(d, label).c_str());
+      }
+      if (!result.ok()) {
+        anyErrors = true;
+        continue;
+      }
+      dep.tasks.push_back(
+          tpp::core::summarize(program, baseName(label), opts.maxHops));
+    }
+
+    const auto report =
+        tpp::core::analyzeInterference(dep.tasks, dep.options);
+    for (const auto& f : report.findings) {
+      std::fprintf(stderr, "%s\n", tpp::core::formatConflict(f).c_str());
+    }
+    if (!quiet) {
+      for (const auto& b : report.benign) {
+        std::printf("note: [%s] %s\n",
+                    std::string(tpp::core::conflictKindName(b.kind)).c_str(),
+                    b.message.c_str());
+      }
+      std::printf(
+          "interference: %zu task%s, %zu shared scratch word%s, "
+          "%zu error%s, %zu warning%s%s\n",
+          dep.tasks.size(), dep.tasks.size() == 1 ? "" : "s",
+          report.sharedWords, report.sharedWords == 1 ? "" : "s",
+          report.errors, report.errors == 1 ? "" : "s", report.warnings,
+          report.warnings == 1 ? "" : "s",
+          report.ok() && !anyErrors ? " — deployment is conflict-free"
+                                    : "");
+    }
+    const bool warningsFail = opts.werror && report.warnings > 0;
+    return anyErrors || !report.ok() || warningsFail ? 1 : 0;
+  }
+
+  for (const auto& file : files) {
+    std::string source;
+    if (!readSource(file, source)) {
+      std::fprintf(stderr, "tppverify: cannot read %s\n", file.c_str());
+      return 2;
     }
     const std::string label = file == "-" ? "<stdin>" : file;
 

@@ -46,7 +46,7 @@ int main() {
   b.push(core::addr::SwitchId);
   b.push(core::addr::WirelessSnr);
   b.reserve(8);
-  const auto program = *b.build();
+  const auto program = b.buildChecked();
 
   sim::TimeSeries samples;
   tb.host(1).onTppResult([&](const core::ExecutedTpp& tpp) {

@@ -7,39 +7,49 @@
 
 namespace tpp::apps {
 
-namespace {
-
 // Both programs verify with maxHops = 1: the leading CEXEC matches a
 // unique switch id, so the suffix (CSTORE / PUSH) executes on at most
 // one switch along the path. The verifier cannot prove that pinning
 // statically, so one executing hop is the right growth budget here.
 
-// Claim/refill program: CEXEC pins execution to the switch holding the
-// counter; CSTORE does the read-modify-write; a trailing PUSH of the boot
-// epoch both timestamps the counter's SRAM generation and — because the
-// stack only advances when the suffix actually ran — proves the target
-// switch executed the TPP (vs. a TPP-unaware switch forwarding it inert).
-core::Program casProgram(std::uint32_t switchId, std::uint16_t address,
-                         std::uint32_t expect, std::uint32_t desired,
-                         std::uint16_t taskId) {
+core::Program makeTokenCasProgram(std::uint32_t switchId,
+                                  std::uint16_t address, std::uint32_t expect,
+                                  std::uint32_t desired,
+                                  std::uint16_t taskId) {
   core::ProgramBuilder b;
   b.task(taskId);
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.cstore(address, expect, desired);
   b.push(core::addr::SwitchBootEpoch);
   b.reserve(1);
-  return core::verified(*b.build(), {.maxHops = 1});
+  return core::verified(b.buildChecked(), {.maxHops = 1});
 }
 
-core::Program readProgram(std::uint32_t switchId, std::uint16_t address,
-                          std::uint16_t taskId) {
+core::Program makeTokenReadProgram(std::uint32_t switchId,
+                                   std::uint16_t address,
+                                   std::uint16_t taskId) {
   core::ProgramBuilder b;
   b.task(taskId);
   b.cexec(core::addr::SwitchId, 0xffffffff, switchId);
   b.push(address);
   b.push(core::addr::SwitchBootEpoch);
   b.reserve(2);
-  return core::verified(*b.build(), {.maxHops = 1});
+  return core::verified(b.buildChecked(), {.maxHops = 1});
+}
+
+namespace {
+
+// The one epoch-discipline pattern both limiter roles (and the analyzer's
+// lock rule) certify: every executed echo carries the target switch's boot
+// epoch; a change means scratch SRAM was wiped since our last exchange, so
+// the caller must discard its local view of the counter before continuing.
+// Adopts the new epoch and counts the reset; returns whether one happened.
+bool adoptEpoch(std::uint32_t echoEpoch, std::uint32_t& lastEpoch,
+                std::uint64_t& epochResets) {
+  const bool reset = lastEpoch != 0 && echoEpoch != lastEpoch;
+  if (reset) ++epochResets;
+  lastEpoch = echoEpoch;
+  return reset;
 }
 
 // Extracts (isCstore, observed/pushed value, epoch) from an echoed CAS/read
@@ -121,8 +131,9 @@ void TokenRefiller::attempt() {
       std::min<std::uint64_t>(lastSeen_ + deficit_, config_.bucketBytes));
   if (desired == lastSeen_) return;
   agent_.sendProbe(config_.dstMac, config_.dstIp,
-                   casProgram(config_.targetSwitchId, config_.tokenAddress,
-                              lastSeen_, desired, config_.taskId));
+                   makeTokenCasProgram(config_.targetSwitchId,
+                                       config_.tokenAddress, lastSeen_,
+                                       desired, config_.taskId));
 }
 
 void TokenRefiller::onResult(const core::ExecutedTpp& tpp) {
@@ -130,17 +141,14 @@ void TokenRefiller::onResult(const core::ExecutedTpp& tpp) {
       parseCasEcho(tpp, config_.tokenAddress, config_.taskId);
   if (!echo || !echo->isCstore || !running_) return;
   if (!echo->executed) return;  // target never ran the TPP; retry next period
-  if (lastEpoch_ != 0 && echo->epoch != lastEpoch_) {
+  if (adoptEpoch(echo->epoch, lastEpoch_, epochResets_)) {
     // The switch rebooted: the counter was wiped along with the rest of
     // scratch SRAM. Re-install from zero — the owed deficit re-credits on
     // the retry below.
-    ++epochResets_;
     lastSeen_ = 0;
-    lastEpoch_ = echo->epoch;
     if (retriesLeft_-- > 0) attempt();
     return;
   }
-  lastEpoch_ = echo->epoch;
   if (echo->value == lastSeen_) {
     const std::uint64_t credited = echo->desired - lastSeen_;
     deficit_ -= std::min(deficit_, credited);
@@ -187,15 +195,16 @@ void TokenBucketSender::tryClaim() {
   const auto& spec = flow_.spec();
   if (lastSeen_ >= config_.chunkBytes) {
     sender_.sendProbe(spec.dstMac, spec.dstIp,
-                      casProgram(config_.targetSwitchId,
-                                 config_.tokenAddress, lastSeen_,
-                                 lastSeen_ - config_.chunkBytes,
-                                 config_.taskId));
+                      makeTokenCasProgram(config_.targetSwitchId,
+                                          config_.tokenAddress, lastSeen_,
+                                          lastSeen_ - config_.chunkBytes,
+                                          config_.taskId));
   } else {
     // Balance looks too low; refresh our view of the counter.
     sender_.sendProbe(spec.dstMac, spec.dstIp,
-                      readProgram(config_.targetSwitchId,
-                                  config_.tokenAddress, config_.taskId));
+                      makeTokenReadProgram(config_.targetSwitchId,
+                                           config_.tokenAddress,
+                                           config_.taskId));
   }
 }
 
@@ -214,14 +223,11 @@ void TokenBucketSender::onResult(const core::ExecutedTpp& tpp) {
   if (!echo->executed) {
     // Target didn't run the TPP (e.g. its TCPU is off); fall through to
     // the retry timer with an unchanged local view.
-  } else if (lastEpoch_ != 0 && echo->epoch != lastEpoch_) {
+  } else if (adoptEpoch(echo->epoch, lastEpoch_, epochResets_)) {
     // Reboot wiped the counter: discard our stale view and adopt whatever
     // the post-reboot word holds (already-claimed budget stays local).
-    ++epochResets_;
-    lastEpoch_ = echo->epoch;
     lastSeen_ = echo->value;
   } else if (echo->isCstore) {
-    lastEpoch_ = echo->epoch;
     if (echo->value == lastSeen_) {  // swap succeeded: tokens are ours
       lastSeen_ -= config_.chunkBytes;
       budget_ += config_.chunkBytes;
@@ -232,7 +238,6 @@ void TokenBucketSender::onResult(const core::ExecutedTpp& tpp) {
       ++failed_;
     }
   } else {
-    lastEpoch_ = echo->epoch;
     lastSeen_ = echo->value;
   }
   if (!running_) return;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "src/core/program.hpp"
 #include "src/host/flow.hpp"
 #include "src/host/host.hpp"
 #include "src/sim/random.hpp"
@@ -29,6 +30,23 @@
 #include "src/apps/task_ids.hpp"
 
 namespace tpp::apps {
+
+// The limiter's two TPPs, exposed for deployment-level interference
+// analysis (src/apps/deployment.hpp) as well as the roles below.
+//
+// Claim/refill program: CEXEC pins execution to the switch holding the
+// counter; CSTORE does the read-modify-write; a trailing PUSH of the boot
+// epoch both timestamps the counter's SRAM generation and — because the
+// stack only advances when the suffix actually ran — proves the target
+// switch executed the TPP (vs. a TPP-unaware switch forwarding it inert).
+core::Program makeTokenCasProgram(std::uint32_t switchId,
+                                  std::uint16_t address, std::uint32_t expect,
+                                  std::uint32_t desired,
+                                  std::uint16_t taskId = kTaskLimiter);
+// Read-only balance refresh: same CEXEC pin, PUSH of the counter + epoch.
+core::Program makeTokenReadProgram(std::uint32_t switchId,
+                                   std::uint16_t address,
+                                   std::uint16_t taskId = kTaskLimiter);
 
 // Periodically tops up the shared token word (runs at a trusted host; the
 // probes traverse `targetSwitchId` where the counter lives).

@@ -1,0 +1,73 @@
+#include "src/apps/deployment.hpp"
+
+#include "src/apps/aggregate_limiter.hpp"
+#include "src/apps/latency_profiler.hpp"
+#include "src/apps/mesh_prober.hpp"
+#include "src/apps/microburst.hpp"
+#include "src/apps/ndb.hpp"
+#include "src/apps/rcpstar.hpp"
+#include "src/apps/task_ids.hpp"
+
+namespace tpp::apps {
+
+core::InterferenceOptions standardLockOptions() {
+  core::InterferenceOptions opts;
+  core::LockSpec rcpLock;
+  rcpLock.lockAddress = core::addr::RcpLockRegister;
+  rcpLock.protectedAddresses = {core::addr::RcpRateRegister};
+  rcpLock.name = "rcp-lock";
+  opts.locks.push_back(std::move(rcpLock));
+  return opts;
+}
+
+Deployment shippedDeployment(std::uint16_t tokenAddress,
+                             std::size_t maxHops) {
+  // The CEXEC-pinned programs are parameterized by a target switch id; the
+  // analyzer only needs *a* representative instance, because a pin on a
+  // different id yields the same effects with a different guard value —
+  // which can only make conflicts disappear (guard-disjointness), never
+  // appear.
+  constexpr std::uint32_t kAnySwitch = 1;
+  constexpr std::uint32_t kAnyOwner = 0x0a000001;  // nonzero lock owner id
+
+  Deployment d;
+  d.options = standardLockOptions();
+
+  d.tasks.push_back(
+      core::summarize(makeQueueProbeProgram(maxHops), "microburst", maxHops));
+
+  core::EffectSummary rcp;
+  rcp.name = "rcpstar";
+  core::summarizeProgram(makeRcpCollectProgram(maxHops), rcp, maxHops);
+  core::summarizeProgram(makeRcpUpdateProgram(kAnySwitch, /*newRateKbps=*/1),
+                         rcp, maxHops);
+  core::summarizeProgram(makeRcpLockAcquireProgram(kAnySwitch, kAnyOwner,
+                                                   maxHops),
+                         rcp, maxHops);
+  core::summarizeProgram(makeRcpLockReleaseProgram(kAnySwitch, kAnyOwner,
+                                                   maxHops),
+                         rcp, maxHops);
+  d.tasks.push_back(std::move(rcp));
+
+  d.tasks.push_back(
+      core::summarize(makeTraceProgram(maxHops), "ndb", maxHops));
+
+  core::EffectSummary limiter;
+  limiter.name = "limiter";
+  core::summarizeProgram(makeTokenCasProgram(kAnySwitch, tokenAddress,
+                                             /*expect=*/0, /*desired=*/1),
+                         limiter, maxHops);
+  core::summarizeProgram(makeTokenReadProgram(kAnySwitch, tokenAddress),
+                         limiter, maxHops);
+  d.tasks.push_back(std::move(limiter));
+
+  d.tasks.push_back(core::summarize(makeLatencyProbeProgram(maxHops),
+                                    "latency", maxHops));
+
+  d.tasks.push_back(core::summarize(makeTraceProgram(maxHops, kTaskMesh),
+                                    "mesh", maxHops));
+
+  return d;
+}
+
+}  // namespace tpp::apps

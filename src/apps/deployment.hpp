@@ -1,0 +1,35 @@
+// The shipped deployment: effect summaries for all six bundled tasks plus
+// the lock declarations their protocols rely on, in the form the
+// interference analyzer (src/core/interference.hpp) consumes.
+//
+// This is the "whole datacenter" view the Minions extended paper argues
+// for: before a new task's programs are admitted, the operator checks them
+// against everything already running. `tppverify --interference --apps`
+// certifies this set conflict-free, and host::Testbed::installTask uses the
+// same analysis as an install-time gate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/interference.hpp"
+#include "src/core/memory_map.hpp"
+
+namespace tpp::apps {
+
+struct Deployment {
+  std::vector<core::EffectSummary> tasks;
+  core::InterferenceOptions options;
+};
+
+// Lock declarations shared by every analysis of the standard address map:
+// the per-port RCP lock word serializes writers of the rate register.
+core::InterferenceOptions standardLockOptions();
+
+// Summaries of representative program instances of all six apps
+// (microburst, rcpstar incl. lock protocol, ndb, limiter, latency, mesh).
+// `tokenAddress` is the limiter's granted SRAM counter word.
+Deployment shippedDeployment(
+    std::uint16_t tokenAddress = core::kSramBase,
+    std::size_t maxHops = 8);
+
+}  // namespace tpp::apps

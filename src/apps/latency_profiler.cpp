@@ -27,7 +27,7 @@ core::Program makeLatencyProbeProgram(std::size_t maxHops,
   b.load(core::addr::QueueBytes, kQueueBytes);
   b.load(core::addr::LinkCapacityMbps, kCapacityMbps);
   b.reserve(static_cast<std::uint8_t>(kWordsPerHop * maxHops));
-  return core::verified(*b.build(), {.maxHops = maxHops});
+  return core::verified(b.buildChecked(), {.maxHops = maxHops});
 }
 
 LatencyProfiler::LatencyProfiler(host::Host& prober, Config config)

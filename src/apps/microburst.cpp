@@ -13,7 +13,7 @@ core::Program makeQueueProbeProgram(std::size_t maxHops,
   b.push(core::addr::SwitchId);
   b.push(core::addr::QueueBytes);
   b.reserve(static_cast<std::uint8_t>(2 * maxHops));
-  return core::verified(*b.build(), {.maxHops = maxHops});
+  return core::verified(b.buildChecked(), {.maxHops = maxHops});
 }
 
 MicroburstMonitor::MicroburstMonitor(host::Host& prober, Config config)

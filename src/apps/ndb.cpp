@@ -14,7 +14,7 @@ core::Program makeTraceProgram(std::size_t maxHops, std::uint16_t taskId) {
   b.push(core::addr::MatchedEntryId);
   b.push(core::addr::InputPort);
   b.reserve(static_cast<std::uint8_t>(3 * maxHops));
-  return core::verified(*b.build(), {.maxHops = maxHops});
+  return core::verified(b.buildChecked(), {.maxHops = maxHops});
 }
 
 PacketTrace parseTrace(const core::ExecutedTpp& tpp,

@@ -22,7 +22,7 @@ core::Program makeRcpCollectProgram(std::size_t maxHops,
   b.push(addr::RcpRateRegister);    // [Link:RCP-RateRegister]
   b.push(addr::SwitchBootEpoch);    // detect scratch-wiping reboots
   b.reserve(static_cast<std::uint8_t>(6 * maxHops));
-  return core::verified(*b.build(), {.maxHops = maxHops});
+  return core::verified(b.buildChecked(), {.maxHops = maxHops});
 }
 
 core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
@@ -34,7 +34,7 @@ core::Program makeRcpUpdateProgram(std::uint32_t bottleneckSwitchId,
   b.cexec(addr::SwitchId, 0xffffffffu, bottleneckSwitchId);
   // STORE [Link:RCP-RateRegister], [PacketMemory:Offset]
   b.storeImm(addr::RcpRateRegister, newRateKbps);
-  return core::verified(*b.build());
+  return core::verified(b.buildChecked());
 }
 
 namespace {
@@ -52,7 +52,7 @@ core::Program makeRcpLockProgram(std::uint32_t switchId, std::uint32_t expect,
   b.cexec(addr::SwitchId, 0xffffffffu, switchId);
   b.cstore(addr::RcpLockRegister, expect, store);
   b.reserve(static_cast<std::uint8_t>(kRcpLockValuesPerHop * maxHops));
-  return core::verified(*b.build(), {.maxHops = maxHops});
+  return core::verified(b.buildChecked(), {.maxHops = maxHops});
 }
 
 }  // namespace

@@ -148,6 +148,9 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
           return ReadResult::fail(Fault::GrantViolation);
         }
         const std::size_t word = address - core::kPortScratchBase;
+        if (sw_.oracle_ != nullptr) {
+          sw_.oracle_->record(ns, out, word, SramRaceOracle::Access::Read);
+        }
         return ReadResult::ok(sw_.sram_.perPort[out][word]);
       }
 
@@ -155,7 +158,11 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
         if (!sw_.sram_.allocator.allows(taskId, address)) {
           return ReadResult::fail(Fault::GrantViolation);
         }
-        return ReadResult::ok(sw_.sram_.global[address - core::kSramBase]);
+        const std::size_t word = address - core::kSramBase;
+        if (sw_.oracle_ != nullptr) {
+          sw_.oracle_->record(ns, 0, word, SramRaceOracle::Access::Read);
+        }
+        return ReadResult::ok(sw_.sram_.global[word]);
       }
 
       case StatNamespace::Unmapped:
@@ -172,15 +179,23 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
         if (!sw_.sram_.allocator.allows(taskId, address)) {
           return Fault::GrantViolation;
         }
-        sw_.sram_.perPort[meta_.outputPort][address - core::kPortScratchBase] =
-            value;
+        const std::size_t word = address - core::kPortScratchBase;
+        if (sw_.oracle_ != nullptr) {
+          sw_.oracle_->record(ns, meta_.outputPort, word,
+                              SramRaceOracle::Access::Write);
+        }
+        sw_.sram_.perPort[meta_.outputPort][word] = value;
         return Fault::None;
       }
       case StatNamespace::Sram: {
         if (!sw_.sram_.allocator.allows(taskId, address)) {
           return Fault::GrantViolation;
         }
-        sw_.sram_.global[address - core::kSramBase] = value;
+        const std::size_t word = address - core::kSramBase;
+        if (sw_.oracle_ != nullptr) {
+          sw_.oracle_->record(ns, 0, word, SramRaceOracle::Access::Write);
+        }
+        sw_.sram_.global[word] = value;
         return Fault::None;
       }
       case StatNamespace::Unmapped:
@@ -347,6 +362,7 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
     auto view = core::TppView::at(*packet, *parsed->tppOffset);
     if (view) {
       UnifiedAddressSpace mem(*this, meta);
+      if (oracle_ != nullptr) oracle_->beginExecution(view->taskId());
       const auto report = tcpu_.execute(*view, mem);
       ++stats_.tppsExecuted;
       if (tracer_ != nullptr) {

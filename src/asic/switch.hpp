@@ -17,6 +17,7 @@
 
 #include "src/asic/parser.hpp"
 #include "src/asic/queue.hpp"
+#include "src/asic/sram_oracle.hpp"
 #include "src/asic/stats.hpp"
 #include "src/asic/tables.hpp"
 #include "src/core/agent.hpp"
@@ -124,6 +125,13 @@ class Switch : public net::Node {
   // this switch.
   void setTracer(sim::Tracer* tracer);
 
+  // Arms (nullptr disarms) the SRAM race oracle: every scratch read/write a
+  // TPP performs on this switch is logged per execution for the
+  // static-vs-dynamic interference cross-check. Disarmed cost is one
+  // null-check per scratch access (bench_core oracle_check_off).
+  void setSramOracle(SramRaceOracle* oracle) { oracle_ = oracle; }
+  SramRaceOracle* sramOracle() const { return oracle_; }
+
   // ---------------------------------------------------------- telemetry
   const SwitchConfig& config() const { return config_; }
   const SwitchStats& stats() const { return stats_; }
@@ -182,6 +190,7 @@ class Switch : public net::Node {
   std::vector<std::uint32_t> snrCentiDb_;
   std::vector<std::uint32_t> probesInFlight_;
   sim::Tracer* tracer_ = nullptr;
+  SramRaceOracle* oracle_ = nullptr;
   std::uint32_t actor_ = 0;
   std::uint32_t bootEpoch_ = 1;
   SwitchStats stats_;

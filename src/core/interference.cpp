@@ -1,0 +1,463 @@
+#include "src/core/interference.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace tpp::core {
+namespace {
+
+std::string describeAddress(std::uint16_t address) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04x", address);
+  if (const auto* s = MemoryMap::standard().lookup(address)) {
+    return "[" + s->name + "] (" + buf + ")";
+  }
+  return std::string(buf);
+}
+
+std::string taskRef(const EffectSummary& s) {
+  const std::string name = s.name.empty() ? "<unnamed>" : s.name;
+  return "'" + name + "' (task " + std::to_string(s.taskId) + ")";
+}
+
+bool isModeAddressed(Opcode op) {
+  switch (op) {
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Min:
+    case Opcode::Max:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Which packet-memory words can any execution of `program` overwrite, over
+// up to `maxHops` hops? Same stack-pointer interval walk as the verifier,
+// minus the diagnostics: Push dirties every word the sp interval can reach,
+// mode-addressed write-backs dirty their resolved word, CSTORE dirties its
+// cond word (old-value write-back). CEXEC early exits only *shrink* the set
+// of executed instructions, so ignoring the halt (while still joining the
+// sp intervals it can leave behind) stays a conservative superset.
+std::vector<bool> mayWriteWords(const Program& program, std::size_t maxHops) {
+  const std::size_t pmemWords = program.pmemWords;
+  std::vector<bool> dirty(pmemWords, false);
+  const auto wordCap = static_cast<std::int64_t>(pmemWords);
+  const auto mark = [&](std::int64_t w) {
+    if (w >= 0 && w < wordCap) dirty[static_cast<std::size_t>(w)] = true;
+  };
+
+  std::int64_t spLo = program.initialSp;
+  std::int64_t spHi = program.initialSp;
+  for (std::size_t hop = 0; hop < maxHops; ++hop) {
+    std::int64_t lo = spLo;
+    std::int64_t hi = spHi;
+    std::int64_t exitLo = lo;
+    std::int64_t exitHi = hi;
+    bool anyDirtied = false;
+    const auto markTracking = [&](std::int64_t w) {
+      if (w >= 0 && w < wordCap && !dirty[static_cast<std::size_t>(w)]) {
+        mark(w);
+        anyDirtied = true;
+      }
+    };
+
+    for (const auto& in : program.instructions) {
+      switch (in.op) {
+        case Opcode::Push:
+          for (std::int64_t w = lo / 4; w <= hi / 4; ++w) markTracking(w);
+          lo += 4;
+          hi += 4;
+          break;
+        case Opcode::Pop:
+          lo = std::max<std::int64_t>(0, lo - 4);
+          hi = std::max<std::int64_t>(0, hi - 4);
+          break;
+        case Opcode::Cstore:
+          markTracking(in.pmemOff);
+          break;
+        case Opcode::Cexec:
+          exitLo = std::min(exitLo, lo);
+          exitHi = std::max(exitHi, hi);
+          break;
+        default:
+          if (isModeAddressed(in.op) && in.op != Opcode::Store) {
+            const std::int64_t w =
+                program.mode == AddressingMode::Hop
+                    ? static_cast<std::int64_t>(hop) * program.perHopWords +
+                          in.pmemOff
+                    : in.pmemOff;
+            markTracking(w);
+          }
+          break;
+      }
+    }
+
+    lo = std::min(lo, exitLo);
+    hi = std::max(hi, exitHi);
+    if (program.mode != AddressingMode::Hop && lo == spLo && hi == spHi &&
+        !anyDirtied) {
+      break;  // stack-mode fixpoint: further hops repeat these transitions
+    }
+    spLo = lo;
+    spHi = hi;
+  }
+  return dirty;
+}
+
+// Only CEXEC pins on the immutable per-switch identity register prove two
+// effects land on *different switches*. Pins on mutable state (queue depth,
+// epoch, ...) can be satisfied by the same switch at different times and
+// excuse nothing.
+bool guardsDisjoint(const Effect& a, const Effect& b) {
+  for (const auto& ga : a.guards) {
+    if (!ga.known || ga.addr != addr::SwitchId) continue;
+    for (const auto& gb : b.guards) {
+      if (!gb.known || gb.addr != addr::SwitchId) continue;
+      if (ga.mask == gb.mask && (ga.value & ga.mask) != (gb.value & gb.mask)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct Accessor {
+  std::size_t task = 0;    // index into the summaries span
+  std::size_t effect = 0;  // index into that summary's effects
+};
+
+void addFinding(InterferenceReport& report, Conflict c) {
+  if (c.severity == Severity::Error) {
+    report.errors += 1;
+  } else {
+    report.warnings += 1;
+  }
+  report.findings.push_back(std::move(c));
+}
+
+}  // namespace
+
+std::string_view effectKindName(EffectKind k) {
+  switch (k) {
+    case EffectKind::Read: return "read";
+    case EffectKind::Write: return "write";
+    case EffectKind::Rmw: return "cstore";
+  }
+  return "?";
+}
+
+std::string_view conflictKindName(ConflictKind k) {
+  switch (k) {
+    case ConflictKind::WriteWrite: return "write-write";
+    case ConflictKind::LostUpdate: return "lost-update";
+    case ConflictKind::ReadWrite: return "read-write";
+    case ConflictKind::SharedRmw: return "shared-rmw";
+    case ConflictKind::GuardDisjoint: return "guard-disjoint";
+    case ConflictKind::LockPlainWrite: return "lock-plain-write";
+    case ConflictKind::LockNoEpochCheck: return "lock-no-epoch-check";
+    case ConflictKind::LockNoAcquire: return "lock-no-acquire";
+  }
+  return "?";
+}
+
+void summarizeProgram(const Program& program, EffectSummary& summary,
+                      std::size_t maxHops) {
+  if (summary.programCount == 0) summary.taskId = program.taskId;
+  const std::size_t programIndex = summary.programCount;
+  summary.programCount += 1;
+
+  const std::vector<bool> dirty = mayWriteWords(program, maxHops);
+  const std::size_t initialized =
+      std::min<std::size_t>(program.initialPmem.size(), program.pmemWords);
+  // A word provably holds its initial-image value at *every* execution iff
+  // it is initialized and no path ever overwrites it.
+  const auto stableWord = [&](std::size_t w, std::uint32_t& out) {
+    if (w >= initialized || dirty[w]) return false;
+    out = program.initialPmem[w];
+    return true;
+  };
+  // First-execution value: the initial image, regardless of later
+  // overwrites (used for the CSTORE comparand, whose word is always
+  // dirtied by the old-value write-back).
+  const auto initialWord = [&](std::size_t w, std::uint32_t& out) {
+    if (w >= initialized) return false;
+    out = program.initialPmem[w];
+    return true;
+  };
+
+  bool readsEpoch = false;
+  std::vector<EffectGuard> guards;
+  for (std::size_t i = 0; i < program.instructions.size(); ++i) {
+    const auto& in = program.instructions[i];
+    if (in.op == Opcode::Nop) continue;
+    if (in.addr == addr::SwitchBootEpoch) readsEpoch = true;
+
+    Effect e;
+    e.address = in.addr;
+    e.instructionIndex = static_cast<int>(i);
+    e.programIndex = programIndex;
+    e.guards = guards;
+    switch (in.op) {
+      case Opcode::Store:
+      case Opcode::Pop:
+        e.kind = EffectKind::Write;
+        break;
+      case Opcode::Cstore: {
+        e.kind = EffectKind::Rmw;
+        e.condKnown = initialWord(in.pmemOff, e.cond);
+        e.srcKnown = stableWord(in.pmemOff + 1u, e.src);
+        break;
+      }
+      default:
+        e.kind = EffectKind::Read;
+        break;
+    }
+    summary.effects.push_back(std::move(e));
+
+    if (in.op == Opcode::Cexec) {
+      EffectGuard g;
+      g.addr = in.addr;
+      std::uint32_t mask = 0;
+      std::uint32_t value = 0;
+      g.known = stableWord(in.pmemOff, mask) &&
+                stableWord(in.pmemOff + 1u, value);
+      g.mask = mask;
+      g.value = value;
+      guards.push_back(g);
+    }
+  }
+  summary.programReadsEpoch.push_back(readsEpoch);
+}
+
+EffectSummary summarize(const Program& program, std::string name,
+                        std::size_t maxHops) {
+  EffectSummary s;
+  s.name = std::move(name);
+  summarizeProgram(program, s, maxHops);
+  return s;
+}
+
+InterferenceReport analyzeInterference(std::span<const EffectSummary> tasks,
+                                       const InterferenceOptions& opts) {
+  InterferenceReport report;
+
+  // ------------------------------------------ pairwise conflict matrix
+  // Only scratch words can be written by TPPs, so only they can race.
+  std::map<std::uint16_t, std::vector<Accessor>> byAddr;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (std::size_t e = 0; e < tasks[t].effects.size(); ++e) {
+      const auto& eff = tasks[t].effects[e];
+      if (!MemoryMap::writable(eff.address)) continue;
+      byAddr[eff.address].push_back({t, e});
+    }
+  }
+
+  for (const auto& [address, accessors] : byAddr) {
+    // Distinct task *ids* sharing the word (different summaries with the
+    // same id are the same logical task coordinating with itself).
+    std::vector<std::size_t> taskIdxs;
+    for (const auto& a : accessors) {
+      if (std::none_of(taskIdxs.begin(), taskIdxs.end(), [&](std::size_t t) {
+            return tasks[t].taskId == tasks[a.task].taskId;
+          })) {
+        taskIdxs.push_back(a.task);
+      }
+    }
+    if (taskIdxs.size() > 1) report.sharedWords += 1;
+
+    for (std::size_t ii = 0; ii < taskIdxs.size(); ++ii) {
+      for (std::size_t jj = ii + 1; jj < taskIdxs.size(); ++jj) {
+        const std::size_t ia = taskIdxs[ii];
+        const std::size_t ib = taskIdxs[jj];
+        const auto& sa = tasks[ia];
+        const auto& sb = tasks[ib];
+
+        // Live (non-guard-disjoint) effect pairs between the two task ids,
+        // aggregated over every summary carrying each id.
+        bool sawPair = false;
+        // [kindA][kindB] — true when some live pair has these kinds.
+        bool live[3][3] = {};
+        const Effect* witness[3][3][2] = {};
+        for (const auto& aa : accessors) {
+          if (tasks[aa.task].taskId != sa.taskId) continue;
+          const auto& ea = tasks[aa.task].effects[aa.effect];
+          for (const auto& bb : accessors) {
+            if (tasks[bb.task].taskId != sb.taskId) continue;
+            const auto& eb = tasks[bb.task].effects[bb.effect];
+            sawPair = true;
+            if (guardsDisjoint(ea, eb)) continue;
+            const auto ka = static_cast<int>(ea.kind);
+            const auto kb = static_cast<int>(eb.kind);
+            if (!live[ka][kb]) {
+              live[ka][kb] = true;
+              witness[ka][kb][0] = &ea;
+              witness[ka][kb][1] = &eb;
+            }
+          }
+        }
+
+        constexpr int kRead = static_cast<int>(EffectKind::Read);
+        constexpr int kWrite = static_cast<int>(EffectKind::Write);
+        constexpr int kRmw = static_cast<int>(EffectKind::Rmw);
+
+        Conflict c;
+        c.address = address;
+        c.taskA = ia;
+        c.taskB = ib;
+        const std::string where = describeAddress(address);
+        const auto instr = [](const Effect* e) {
+          return " (instruction " + std::to_string(e->instructionIndex) +
+                 " of program " + std::to_string(e->programIndex) + ")";
+        };
+
+        if (live[kWrite][kRmw] || live[kRmw][kWrite]) {
+          // Orient so "A" is the plain writer.
+          const bool aWrites = live[kWrite][kRmw];
+          const Effect* w = aWrites ? witness[kWrite][kRmw][0]
+                                    : witness[kRmw][kWrite][1];
+          const Effect* r = aWrites ? witness[kWrite][kRmw][1]
+                                    : witness[kRmw][kWrite][0];
+          const auto& sw = aWrites ? sa : sb;
+          const auto& sr = aWrites ? sb : sa;
+          c.kind = ConflictKind::LostUpdate;
+          c.severity = Severity::Error;
+          c.message = "task " + taskRef(sw) + " plain-writes " + where +
+                      instr(w) + " while task " + taskRef(sr) +
+                      " updates it with CSTORE" + instr(r) +
+                      "; the plain write defeats the compare-and-swap "
+                      "(lost update)";
+          addFinding(report, std::move(c));
+        } else if (live[kWrite][kWrite]) {
+          const Effect* ea = witness[kWrite][kWrite][0];
+          const Effect* eb = witness[kWrite][kWrite][1];
+          c.kind = ConflictKind::WriteWrite;
+          c.severity = Severity::Error;
+          c.message = "tasks " + taskRef(sa) + instr(ea) + " and " +
+                      taskRef(sb) + instr(eb) + " both plain-write " + where +
+                      "; the last writer silently wins";
+          addFinding(report, std::move(c));
+        } else if (live[kWrite][kRead] || live[kRead][kWrite]) {
+          const bool aWrites = live[kWrite][kRead];
+          const Effect* w = aWrites ? witness[kWrite][kRead][0]
+                                    : witness[kRead][kWrite][1];
+          const Effect* r = aWrites ? witness[kWrite][kRead][1]
+                                    : witness[kRead][kWrite][0];
+          const auto& sw = aWrites ? sa : sb;
+          const auto& sr = aWrites ? sb : sa;
+          c.kind = ConflictKind::ReadWrite;
+          c.severity = Severity::Warning;
+          c.message = "task " + taskRef(sw) + " plain-writes " + where +
+                      instr(w) + " while task " + taskRef(sr) + " reads it" +
+                      instr(r) +
+                      " without coordination; the reader observes arbitrary "
+                      "interleavings";
+          addFinding(report, std::move(c));
+        } else if (live[kRmw][kRmw] || live[kRmw][kRead] ||
+                   live[kRead][kRmw]) {
+          c.kind = ConflictKind::SharedRmw;
+          c.severity = Severity::Warning;  // recorded, never counted
+          c.message = "tasks " + taskRef(sa) + " and " + taskRef(sb) +
+                      " share " + where +
+                      " through atomic CSTORE updates (coordinated)";
+          report.benign.push_back(std::move(c));
+        } else if (sawPair) {
+          c.kind = ConflictKind::GuardDisjoint;
+          c.severity = Severity::Warning;
+          c.message = "tasks " + taskRef(sa) + " and " + taskRef(sb) +
+                      " touch " + where +
+                      " but are CEXEC-pinned to different [Switch:SwitchID] "
+                      "values; they never execute on the same switch";
+          report.benign.push_back(std::move(c));
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------- lock discipline
+  // Applied per summary, including single-task deployments: the rules are
+  // about *how* a lock word is used, not about who else is present.
+  for (const auto& lock : opts.locks) {
+    const std::string lockName =
+        lock.name.empty() ? describeAddress(lock.lockAddress)
+                          : "'" + lock.name + "' " +
+                                describeAddress(lock.lockAddress);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto& s = tasks[t];
+      bool anyLockRmw = false;
+      for (const auto& e : s.effects) {
+        if (e.address == lock.lockAddress && e.kind == EffectKind::Rmw) {
+          anyLockRmw = true;
+        }
+      }
+      for (const auto& e : s.effects) {
+        if (e.address == lock.lockAddress) {
+          if (e.kind == EffectKind::Write) {
+            Conflict c;
+            c.kind = ConflictKind::LockPlainWrite;
+            c.severity = Severity::Error;
+            c.address = lock.lockAddress;
+            c.taskA = c.taskB = t;
+            c.message = "task " + taskRef(s) + " plain-writes lock word " +
+                        lockName + " (instruction " +
+                        std::to_string(e.instructionIndex) + " of program " +
+                        std::to_string(e.programIndex) +
+                        "); lock words may only be mutated with CSTORE";
+            addFinding(report, std::move(c));
+          } else if (e.kind == EffectKind::Rmw &&
+                     (e.programIndex >= s.programReadsEpoch.size() ||
+                      !s.programReadsEpoch[e.programIndex])) {
+            Conflict c;
+            c.kind = ConflictKind::LockNoEpochCheck;
+            c.severity = Severity::Error;
+            c.address = lock.lockAddress;
+            c.taskA = c.taskB = t;
+            c.message =
+                "task " + taskRef(s) + " CSTOREs lock word " + lockName +
+                " (instruction " + std::to_string(e.instructionIndex) +
+                " of program " + std::to_string(e.programIndex) +
+                ") without reading [Switch:BootEpoch] in the same program; "
+                "a reboot-wiped lock cannot be told apart from a held one";
+            addFinding(report, std::move(c));
+          }
+          continue;
+        }
+        const bool isProtected =
+            std::find(lock.protectedAddresses.begin(),
+                      lock.protectedAddresses.end(),
+                      e.address) != lock.protectedAddresses.end();
+        if (isProtected && e.kind == EffectKind::Write && !anyLockRmw) {
+          Conflict c;
+          c.kind = ConflictKind::LockNoAcquire;
+          c.severity = Severity::Error;
+          c.address = e.address;
+          c.taskA = c.taskB = t;
+          c.message = "task " + taskRef(s) + " plain-writes " +
+                      describeAddress(e.address) + ", protected by lock " +
+                      lockName + " (instruction " +
+                      std::to_string(e.instructionIndex) + " of program " +
+                      std::to_string(e.programIndex) +
+                      "), but never CSTOREs the lock — mutation without "
+                      "holding the (id, epoch) proof";
+          addFinding(report, std::move(c));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string formatConflict(const Conflict& c) {
+  std::string out(severityName(c.severity));
+  out += ": [";
+  out += conflictKindName(c.kind);
+  out += "] ";
+  out += c.message;
+  return out;
+}
+
+}  // namespace tpp::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "src/net/byte_io.hpp"
 
@@ -98,6 +99,12 @@ std::optional<Program> ProgramBuilder::build() const {
   p.initialSp = static_cast<std::uint16_t>(imms_.size() * kWordSize);
   p.taskId = task_;
   return p;
+}
+
+Program ProgramBuilder::buildChecked() const {
+  auto p = build();
+  if (!p.has_value()) std::abort();
+  return *std::move(p);
 }
 
 namespace {

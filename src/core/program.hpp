@@ -73,6 +73,11 @@ class ProgramBuilder {
   // (>255 instruction or pmem words, immediates overflowing the reserve).
   std::optional<Program> build() const;
 
+  // Finalizes a program that is statically known to fit the encoding
+  // limits (the bundled apps' builders); aborts instead of dereferencing
+  // an empty optional when that assumption breaks.
+  Program buildChecked() const;
+
  private:
   std::vector<Instruction> instructions_;
   std::vector<std::uint32_t> imms_;

@@ -354,4 +354,45 @@ void bindProbeGauge(ReliableProber& prober, Testbed& tb, const Host& host) {
   });
 }
 
+std::vector<asic::SramRaceOracle::ObservedConflict>
+SramOracleSet::conflicts() {
+  std::vector<asic::SramRaceOracle::ObservedConflict> out;
+  for (auto& o : oracles_) {
+    const auto c = o.conflicts();
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+std::vector<std::string> SramOracleSet::divergences(
+    const core::InterferenceReport& report,
+    std::span<const core::EffectSummary> tasks) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < oracles_.size(); ++i) {
+    for (auto& d : oracles_[i].divergences(report, tasks)) {
+      out.push_back("sw" + std::to_string(i) + ": " + std::move(d));
+    }
+  }
+  return out;
+}
+
+std::uint64_t SramOracleSet::accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& o : oracles_) total += o.accesses();
+  return total;
+}
+
+void armSramOracle(Testbed& tb, SramOracleSet& oracles) {
+  assert(oracles.size() == tb.switchCount() && "one oracle per switch");
+  for (std::size_t i = 0; i < tb.switchCount(); ++i) {
+    tb.sw(i).setSramOracle(&oracles.at(i));
+  }
+}
+
+void disarmSramOracle(Testbed& tb) {
+  for (std::size_t i = 0; i < tb.switchCount(); ++i) {
+    tb.sw(i).setSramOracle(nullptr);
+  }
+}
+
 }  // namespace tpp::host

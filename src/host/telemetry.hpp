@@ -107,4 +107,35 @@ void armTracing(Testbed& tb, ShardedTrace& trace);
 // so TPPs from (and through) that port can read Link:ProbesInFlight.
 void bindProbeGauge(ReliableProber& prober, Testbed& tb, const Host& host);
 
+// ------------------------------------------------------ SRAM race oracle
+
+// One SramRaceOracle per switch of a Testbed. A switch's TCPU always runs
+// on its own shard's thread, so per-switch oracles need no locks even in
+// sharded runs; the aggregation methods are offline (post-run) only.
+class SramOracleSet {
+ public:
+  explicit SramOracleSet(std::size_t switches) : oracles_(switches) {}
+
+  std::size_t size() const { return oracles_.size(); }
+  asic::SramRaceOracle& at(std::size_t i) { return oracles_.at(i); }
+
+  // Union across switches. Conflicts are per switch (the same task pair
+  // colliding on two switches yields two entries).
+  std::vector<asic::SramRaceOracle::ObservedConflict> conflicts();
+  // Observed conflicts not predicted by the static report — static false
+  // negatives, one line each, prefixed with the switch index.
+  std::vector<std::string> divergences(
+      const core::InterferenceReport& report,
+      std::span<const core::EffectSummary> tasks);
+  std::uint64_t accesses() const;
+
+ private:
+  std::vector<asic::SramRaceOracle> oracles_;
+};
+
+// Arms one oracle per switch (oracles.size() must be tb.switchCount());
+// armSramOracle(tb, nullptr)-style disarming is disarmSramOracle.
+void armSramOracle(Testbed& tb, SramOracleSet& oracles);
+void disarmSramOracle(Testbed& tb);
+
 }  // namespace tpp::host

@@ -50,6 +50,28 @@ net::DuplexLink& Testbed::link(net::Node& a, std::size_t portA, net::Node& b,
   return *links_.back();
 }
 
+bool Testbed::installTask(core::EffectSummary summary, std::string* whyNot) {
+  std::vector<core::EffectSummary> candidate = installedTasks_;
+  candidate.push_back(std::move(summary));
+  const auto report =
+      core::analyzeInterference(candidate, interferenceOptions_);
+  if (!report.ok()) {
+    // The installed set was error-free before, so every error implicates
+    // the candidate; reject it and leave the set untouched.
+    if (whyNot != nullptr) {
+      whyNot->clear();
+      for (const auto& f : report.findings) {
+        if (f.severity != core::Severity::Error) continue;
+        if (!whyNot->empty()) *whyNot += '\n';
+        *whyNot += core::formatConflict(f);
+      }
+    }
+    return false;
+  }
+  installedTasks_ = std::move(candidate);
+  return true;
+}
+
 Testbed::Attachment Testbed::attachmentOf(const Host& h) const {
   for (const auto& e : edges_) {
     if (e.a == &h) {

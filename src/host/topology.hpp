@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/asic/switch.hpp"
+#include "src/core/interference.hpp"
 #include "src/host/host.hpp"
 #include "src/net/link.hpp"
 #include "src/sim/shard.hpp"
@@ -99,6 +100,30 @@ class Testbed {
   };
   Attachment attachmentOf(const Host& h) const;
 
+  // ------------------------------------------- interference install gate
+  // Declares a lock word (and the scratch it protects) for every later
+  // installTask() analysis — e.g. the standard RCP lock,
+  // apps::standardLockOptions().
+  void declareLock(core::LockSpec lock) {
+    interferenceOptions_.locks.push_back(std::move(lock));
+  }
+
+  // Admission control for concurrent tasks: analyzes `summary` against
+  // every already-installed task and rejects the registration if the
+  // combined deployment has interference errors (the installed set stays
+  // unchanged and provably conflict-free). On rejection the error
+  // diagnostics, one per line, are returned via `whyNot` if non-null.
+  bool installTask(core::EffectSummary summary,
+                   std::string* whyNot = nullptr);
+
+  const std::vector<core::EffectSummary>& installedTasks() const {
+    return installedTasks_;
+  }
+  // The current installed set's full report (benign matrix included).
+  core::InterferenceReport interferenceReport() const {
+    return core::analyzeInterference(installedTasks_, interferenceOptions_);
+  }
+
  private:
   struct Edge {
     net::Node* a;
@@ -114,6 +139,8 @@ class Testbed {
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<net::DuplexLink>> links_;
   std::vector<Edge> edges_;
+  std::vector<core::EffectSummary> installedTasks_;
+  core::InterferenceOptions interferenceOptions_;
 };
 
 // ---------------------------------------------------------------- shapes

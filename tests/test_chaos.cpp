@@ -10,10 +10,13 @@
 #include <vector>
 
 #include "src/apps/aggregate_limiter.hpp"
+#include "src/apps/deployment.hpp"
 #include "src/apps/microburst.hpp"
 #include "src/apps/ndb.hpp"
 #include "src/apps/rcpstar.hpp"
+#include "src/core/interference.hpp"
 #include "src/core/memory_map.hpp"
+#include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
 #include "src/sim/fault.hpp"
 #include "tests/test_util.hpp"
@@ -26,6 +29,22 @@ using host::Testbed;
 std::uint64_t baseSeed() { return test::chaosSeed(); }
 
 constexpr std::uint64_t kBottleneck = 10'000'000;
+
+// Cross-checks what an armed SRAM race oracle observed against the static
+// interference verdict for the shipped deployment: chaos (drops, reboots,
+// dark links) must never produce an interleaving the analyzer ruled out.
+void expectNoOracleDivergence(host::SramOracleSet& oracles,
+                              std::uint16_t tokenAddress = core::kSramBase) {
+  const auto dep = apps::shippedDeployment(tokenAddress);
+  const auto report = core::analyzeInterference(dep.tasks, dep.options);
+  ASSERT_TRUE(report.ok());
+  for (const auto& line : oracles.divergences(report, dep.tasks)) {
+    ADD_FAILURE() << "static/dynamic divergence: " << line;
+  }
+  for (const auto& c : oracles.conflicts()) {
+    ADD_FAILURE() << "observed SRAM conflict: " << c.describe();
+  }
+}
 
 // ------------------------------------------------------------- RCP* chaos
 
@@ -64,6 +83,11 @@ RcpChaosOutcome runRcpChaos(std::uint64_t seed, const RcpChaosPlan& plan) {
           port);
     }
   }
+
+  // Race oracle rides along: chaos must not create SRAM interleavings the
+  // static interference analyzer ruled out.
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
 
   host::FlowSpec spec;
   spec.dstMac = tb.host(1).mac();
@@ -116,6 +140,7 @@ RcpChaosOutcome runRcpChaos(std::uint64_t seed, const RcpChaosPlan& plan) {
   out.updates = ctl.updatesSent();
   flow.stop();
   ctl.stop();
+  expectNoOracleDivergence(oracles);
   return out;
 }
 
@@ -196,6 +221,11 @@ RcpChaosOutcome runShardedRcpChaos(std::uint64_t seed,
     }
   }
 
+  // Each switch's oracle records on its own shard; the set is read only
+  // after the run joins.
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
+
   host::FlowSpec spec;
   spec.dstMac = tb.host(1).mac();
   spec.dstIp = tb.host(1).ip();
@@ -250,6 +280,7 @@ RcpChaosOutcome runShardedRcpChaos(std::uint64_t seed,
   out.updates = ctl.updatesSent();
   flow.stop();
   ctl.stop();
+  expectNoOracleDivergence(oracles);
   return out;
 }
 
@@ -474,6 +505,8 @@ TEST(ChaosLimiter, RebootWipesCounterAndRefillerReinstalls) {
   Testbed tb;
   buildDumbbell(tb, 4, host::LinkParams{1'000'000'000, sim::Time::us(10)},
                 host::LinkParams{1'000'000'000, sim::Time::us(10)});
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
   apps::TokenRefiller::Config rcfg;
   rcfg.dstMac = tb.host(0).mac();
   rcfg.dstIp = tb.host(0).ip();
@@ -521,6 +554,69 @@ TEST(ChaosLimiter, RebootWipesCounterAndRefillerReinstalls) {
   const auto tokens = tb.sw(0).scratchRead(kToken);
   ASSERT_TRUE(tokens.has_value());
   EXPECT_LE(*tokens, 20'000u);
+  // The refiller's CSTOREs and the sender's reads interleaved across a
+  // reboot — all within task 4, so the oracle must see no conflict.
+  EXPECT_GT(oracles.accesses(), 0u);
+  expectNoOracleDivergence(oracles, kToken);
+}
+
+// ------------------------------------------------- race oracle, multi-task
+
+// Two scratch-active tasks (aggregate limiter CASing its token word,
+// microburst monitor sampling queues) plus loss on the bottleneck: the
+// observed per-word interleavings must stay inside the static verdict —
+// the deployment the analyzer certified conflict-free really is.
+TEST(ChaosOracle, MultiTaskScratchTrafficMatchesStaticVerdict) {
+  constexpr std::uint16_t kToken = core::kSramBase + 16;
+  Testbed tb;
+  buildDumbbell(tb, 4, host::LinkParams{1'000'000'000, sim::Time::us(10)},
+                host::LinkParams{100'000'000, sim::Time::us(100)});
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
+
+  apps::TokenRefiller::Config rcfg;
+  rcfg.dstMac = tb.host(0).mac();
+  rcfg.dstIp = tb.host(0).ip();
+  rcfg.tokenAddress = kToken;
+  rcfg.aggregateRateBps = 8e6;
+  rcfg.bucketBytes = 20'000;
+  rcfg.period = sim::Time::ms(5);
+  apps::TokenRefiller refiller(tb.host(7), rcfg);
+
+  host::FlowSpec spec;
+  spec.dstMac = tb.host(4).mac();
+  spec.dstIp = tb.host(4).ip();
+  spec.srcPort = 27000;
+  spec.dstPort = 27000;
+  spec.payloadBytes = 1000;
+  spec.rateBps = 50e6;
+  host::PacedFlow flow(tb.host(0), spec, 1);
+  apps::TokenBucketSender::Config scfg;
+  scfg.tokenAddress = kToken;
+  scfg.chunkBytes = 5000;
+  apps::TokenBucketSender sender(tb.host(0), flow, scfg);
+
+  apps::MicroburstMonitor::Config mcfg;
+  mcfg.dstMac = tb.host(5).mac();
+  mcfg.dstIp = tb.host(5).ip();
+  mcfg.interval = sim::Time::ms(1);
+  apps::MicroburstMonitor monitor(tb.host(1), mcfg);
+
+  sim::FaultInjector inj(tb.sim(), baseSeed());
+  auto& fwd = inj.link("bottleneck", {0.005, 0.0});
+  tb.linkAt(8).aToB().setFaultState(&fwd);  // link 8 = the bottleneck
+
+  refiller.start(sim::Time::zero());
+  sender.start(sim::Time::ms(1));
+  monitor.start(sim::Time::zero());
+  tb.sim().run(sim::Time::sec(2));
+  refiller.stop();
+  sender.stop();
+  monitor.stop();
+
+  EXPECT_GT(refiller.refills(), 0u);
+  EXPECT_GT(oracles.accesses(), 0u);
+  expectNoOracleDivergence(oracles, kToken);
 }
 
 }  // namespace

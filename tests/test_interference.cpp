@@ -1,0 +1,399 @@
+// Deployment-level interference analysis: effect summaries, the pairwise
+// conflict matrix, lock discipline, the Testbed install-time gate, and the
+// dynamic SRAM race oracle's cross-check against static verdicts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/apps/deployment.hpp"
+#include "src/asic/sram_oracle.hpp"
+#include "src/core/interference.hpp"
+#include "src/core/memory_map.hpp"
+#include "src/core/program.hpp"
+#include "src/host/telemetry.hpp"
+#include "src/host/topology.hpp"
+
+namespace tpp {
+namespace {
+
+using core::ConflictKind;
+using core::EffectKind;
+using core::EffectSummary;
+using core::ProgramBuilder;
+
+core::Program build(ProgramBuilder& b) {
+  auto p = b.build();
+  EXPECT_TRUE(p.has_value());
+  return *p;
+}
+
+EffectSummary writerTask(std::uint16_t taskId, std::uint16_t addr,
+                         std::string name) {
+  ProgramBuilder b;
+  b.task(taskId).storeImm(addr, 7);
+  return core::summarize(build(b), std::move(name));
+}
+
+// ------------------------------------------------------------ summaries
+
+TEST(EffectSummary, ClassifiesReadsWritesAndRmws) {
+  ProgramBuilder b;
+  b.task(9)
+      .load(core::kSramBase, 0)
+      .storeImm(core::kSramBase + 1, 5)
+      .cstore(core::kSramBase + 2, 0, 1)
+      .reserve(1);
+  const auto s = core::summarize(build(b), "probe");
+
+  ASSERT_EQ(s.effects.size(), 3u);
+  EXPECT_EQ(s.taskId, 9u);
+  EXPECT_EQ(s.programCount, 1u);
+  EXPECT_EQ(s.effects[0].kind, EffectKind::Read);
+  EXPECT_EQ(s.effects[0].address, core::kSramBase);
+  EXPECT_EQ(s.effects[1].kind, EffectKind::Write);
+  EXPECT_EQ(s.effects[2].kind, EffectKind::Rmw);
+  // CSTORE protocol operands resolve from the initial pmem image.
+  EXPECT_TRUE(s.effects[2].condKnown);
+  EXPECT_TRUE(s.effects[2].srcKnown);
+  EXPECT_EQ(s.effects[2].cond, 0u);
+  EXPECT_EQ(s.effects[2].src, 1u);
+}
+
+TEST(EffectSummary, CexecGuardsAccumulateAndResolve) {
+  ProgramBuilder b;
+  b.cexec(core::addr::SwitchId, 0xffffffffu, 4).storeImm(core::kSramBase, 1);
+  const auto s = core::summarize(build(b));
+
+  // The CEXEC itself reads SwitchId; the guarded store carries the guard.
+  ASSERT_EQ(s.effects.size(), 2u);
+  const auto& store = s.effects[1];
+  ASSERT_EQ(store.guards.size(), 1u);
+  EXPECT_TRUE(store.guards[0].known);
+  EXPECT_EQ(store.guards[0].addr, core::addr::SwitchId);
+  EXPECT_EQ(store.guards[0].mask, 0xffffffffu);
+  EXPECT_EQ(store.guards[0].value, 4u);
+}
+
+TEST(EffectSummary, GuardOperandsOutsideInitialImageAreUnknown) {
+  // Hand-built program whose CEXEC operands lie past the initialized
+  // packet-memory image: the guard condition cannot be resolved.
+  core::Program p;
+  p.instructions.push_back({core::Opcode::Cexec, core::addr::SwitchId, 0});
+  p.instructions.push_back({core::Opcode::Store, core::kSramBase, 2});
+  p.pmemWords = 3;
+  const auto s = core::summarize(p);
+
+  ASSERT_EQ(s.effects.size(), 2u);
+  ASSERT_EQ(s.effects[1].guards.size(), 1u);
+  EXPECT_FALSE(s.effects[1].guards[0].known);
+}
+
+TEST(EffectSummary, TracksEpochReadsPerProgram) {
+  EffectSummary s;
+  ProgramBuilder with;
+  with.task(3).push(core::addr::SwitchBootEpoch).reserve(8);
+  ProgramBuilder without;
+  without.task(3).push(core::addr::SwitchId).reserve(8);
+  core::summarizeProgram(build(with), s);
+  core::summarizeProgram(build(without), s);
+
+  ASSERT_EQ(s.programReadsEpoch.size(), 2u);
+  EXPECT_TRUE(s.programReadsEpoch[0]);
+  EXPECT_FALSE(s.programReadsEpoch[1]);
+}
+
+// ------------------------------------------------------ conflict matrix
+
+TEST(Interference, FlagsWriteWriteRace) {
+  const std::vector<EffectSummary> tasks = {
+      writerTask(7, core::kSramBase, "alpha"),
+      writerTask(8, core::kSramBase, "beta")};
+  const auto report = core::analyzeInterference(tasks);
+
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::WriteWrite);
+  EXPECT_EQ(report.sharedWords, 1u);
+  const auto text = core::formatConflict(report.findings[0]);
+  // Diagnostics name both tasks and the shared word.
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("Sram:Word0"), std::string::npos);
+}
+
+TEST(Interference, FlagsLostUpdateAgainstCstore) {
+  ProgramBuilder cas;
+  cas.task(4).cstore(core::kSramBase, 0, 1).reserve(1);
+  const std::vector<EffectSummary> tasks = {
+      core::summarize(build(cas), "limiter"),
+      writerTask(8, core::kSramBase, "clobber")};
+  const auto report = core::analyzeInterference(tasks);
+
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::LostUpdate);
+  EXPECT_EQ(report.findings[0].severity, core::Severity::Error);
+}
+
+TEST(Interference, ReadWriteSharingIsAWarning) {
+  ProgramBuilder reader;
+  reader.task(5).push(core::kSramBase).reserve(8);
+  const std::vector<EffectSummary> tasks = {
+      core::summarize(build(reader), "watcher"),
+      writerTask(8, core::kSramBase, "writer")};
+  const auto report = core::analyzeInterference(tasks);
+
+  EXPECT_TRUE(report.ok());  // warnings do not fail the deployment
+  EXPECT_EQ(report.warnings, 1u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::ReadWrite);
+}
+
+TEST(Interference, SharedCstoreIsBenign) {
+  ProgramBuilder a;
+  a.task(4).cstore(core::kSramBase, 0, 1).reserve(1);
+  ProgramBuilder b;
+  b.task(9).cstore(core::kSramBase, 1, 0).reserve(1);
+  const std::vector<EffectSummary> tasks = {core::summarize(build(a)),
+                                            core::summarize(build(b))};
+  const auto report = core::analyzeInterference(tasks);
+
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_FALSE(report.benign.empty());
+  EXPECT_EQ(report.benign[0].kind, ConflictKind::SharedRmw);
+  EXPECT_EQ(report.sharedWords, 1u);
+}
+
+TEST(Interference, SwitchIdPinnedWritesAreDisjoint) {
+  ProgramBuilder a;
+  a.task(7).cexec(core::addr::SwitchId, 0xffffffffu, 1).storeImm(
+      core::kSramBase, 1);
+  ProgramBuilder b;
+  b.task(8).cexec(core::addr::SwitchId, 0xffffffffu, 2).storeImm(
+      core::kSramBase, 2);
+  const std::vector<EffectSummary> tasks = {core::summarize(build(a)),
+                                            core::summarize(build(b))};
+  const auto report = core::analyzeInterference(tasks);
+
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_FALSE(report.benign.empty());
+  EXPECT_EQ(report.benign[0].kind, ConflictKind::GuardDisjoint);
+}
+
+TEST(Interference, SameTaskNeverConflictsWithItself) {
+  const std::vector<EffectSummary> tasks = {
+      writerTask(7, core::kSramBase, "a"),
+      writerTask(7, core::kSramBase, "b")};
+  const auto report = core::analyzeInterference(tasks);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+// ------------------------------------------------------- lock discipline
+
+TEST(Interference, LockMutatedWithPlainStoreIsFlagged) {
+  const std::vector<EffectSummary> tasks = {
+      writerTask(7, core::addr::RcpLockRegister, "rogue")};
+  const auto report =
+      core::analyzeInterference(tasks, apps::standardLockOptions());
+
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::LockPlainWrite);
+}
+
+TEST(Interference, LockCstoreWithoutEpochProofIsFlagged) {
+  ProgramBuilder b;
+  b.task(7).cstore(core::addr::RcpLockRegister, 0, 9).reserve(1);
+  const std::vector<EffectSummary> tasks = {
+      core::summarize(build(b), "no-epoch")};
+  const auto report =
+      core::analyzeInterference(tasks, apps::standardLockOptions());
+
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::LockNoEpochCheck);
+
+  // Reading BootEpoch in the same program satisfies the discipline.
+  ProgramBuilder fixed;
+  fixed.task(7)
+      .push(core::addr::SwitchBootEpoch)
+      .cstore(core::addr::RcpLockRegister, 0, 9)
+      .reserve(8);
+  const std::vector<EffectSummary> ok = {
+      core::summarize(build(fixed), "with-epoch")};
+  EXPECT_TRUE(
+      core::analyzeInterference(ok, apps::standardLockOptions()).ok());
+}
+
+TEST(Interference, ProtectedRegionWriteWithoutAcquireIsFlagged) {
+  const std::vector<EffectSummary> tasks = {
+      writerTask(7, core::addr::RcpRateRegister, "no-lock")};
+  const auto report =
+      core::analyzeInterference(tasks, apps::standardLockOptions());
+
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].kind, ConflictKind::LockNoAcquire);
+
+  // A CSTORE on the lock anywhere in the task's summary (the acquire
+  // program of a multi-program task) is the (id, epoch) proof.
+  EffectSummary holder;
+  ProgramBuilder acquire;
+  acquire.task(7)
+      .push(core::addr::SwitchBootEpoch)
+      .cstore(core::addr::RcpLockRegister, 0, 9)
+      .reserve(8);
+  ProgramBuilder update;
+  update.task(7).storeImm(core::addr::RcpRateRegister, 500);
+  core::summarizeProgram(build(acquire), holder);
+  core::summarizeProgram(build(update), holder);
+  const std::vector<EffectSummary> ok = {holder};
+  EXPECT_TRUE(
+      core::analyzeInterference(ok, apps::standardLockOptions()).ok());
+}
+
+// ------------------------------------------- shipped deployment + gate
+
+TEST(Interference, ShippedSixAppDeploymentIsConflictFree) {
+  const auto dep = apps::shippedDeployment();
+  ASSERT_EQ(dep.tasks.size(), 6u);
+  const auto report = core::analyzeInterference(dep.tasks, dep.options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty())
+      << core::formatConflict(report.findings.front());
+  EXPECT_EQ(report.warnings, 0u);
+}
+
+TEST(TestbedGate, RejectsConflictingTaskAtInstallTime) {
+  host::Testbed tb;
+  for (auto& lock : apps::standardLockOptions().locks) {
+    tb.declareLock(lock);
+  }
+  EXPECT_TRUE(tb.installTask(writerTask(7, core::kSramBase, "first")));
+
+  std::string whyNot;
+  EXPECT_FALSE(
+      tb.installTask(writerTask(8, core::kSramBase, "second"), &whyNot));
+  EXPECT_NE(whyNot.find("write-write"), std::string::npos);
+  EXPECT_NE(whyNot.find("first"), std::string::npos);
+  // The rejected candidate did not join the installed set.
+  ASSERT_EQ(tb.installedTasks().size(), 1u);
+  EXPECT_TRUE(tb.interferenceReport().ok());
+
+  // A disjoint word is welcome.
+  EXPECT_TRUE(tb.installTask(writerTask(8, core::kSramBase + 1, "second")));
+  EXPECT_EQ(tb.installedTasks().size(), 2u);
+}
+
+TEST(TestbedGate, WholeShippedDeploymentInstalls) {
+  host::Testbed tb;
+  const auto dep = apps::shippedDeployment();
+  for (auto& lock : dep.options.locks) tb.declareLock(lock);
+  for (const auto& task : dep.tasks) {
+    std::string whyNot;
+    EXPECT_TRUE(tb.installTask(task, &whyNot)) << task.name << ": " << whyNot;
+  }
+}
+
+// ------------------------------------------------------- dynamic oracle
+
+TEST(SramOracle, FoldsReadPlusWriteIntoRmwPerExecution) {
+  asic::SramRaceOracle oracle;
+  using Access = asic::SramRaceOracle::Access;
+  // Task 4 CASes word 0 (read + write in one execution = RMW)...
+  oracle.beginExecution(4);
+  oracle.record(core::StatNamespace::Sram, 0, 0, Access::Read);
+  oracle.record(core::StatNamespace::Sram, 0, 0, Access::Write);
+  // ...and task 8 plain-writes the same word.
+  oracle.beginExecution(8);
+  oracle.record(core::StatNamespace::Sram, 0, 0, Access::Write);
+  oracle.flush();
+
+  const auto conflicts = oracle.conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].taskA, 8u);  // the plain writer
+  EXPECT_EQ(conflicts[0].taskB, 4u);
+  EXPECT_EQ(conflicts[0].address, core::kSramBase);
+  EXPECT_TRUE(conflicts[0].lostUpdate());
+  EXPECT_EQ(oracle.accesses(), 3u);
+}
+
+TEST(SramOracle, SingleTaskTrafficNeverConflicts) {
+  asic::SramRaceOracle oracle;
+  using Access = asic::SramRaceOracle::Access;
+  for (int i = 0; i < 4; ++i) {
+    oracle.beginExecution(4);
+    oracle.record(core::StatNamespace::Sram, 0, 0, Access::Write);
+    oracle.record(core::StatNamespace::PortScratch, 1, 0, Access::Read);
+  }
+  oracle.flush();
+  EXPECT_TRUE(oracle.conflicts().empty());
+}
+
+TEST(SramOracle, PredictedConflictIsNotADivergence) {
+  const std::vector<EffectSummary> tasks = {
+      writerTask(7, core::kSramBase, "alpha"),
+      writerTask(8, core::kSramBase, "beta")};
+  const auto report = core::analyzeInterference(tasks);
+  ASSERT_FALSE(report.findings.empty());
+
+  asic::SramRaceOracle oracle;
+  using Access = asic::SramRaceOracle::Access;
+  oracle.beginExecution(7);
+  oracle.record(core::StatNamespace::Sram, 0, 0, Access::Write);
+  oracle.beginExecution(8);
+  oracle.record(core::StatNamespace::Sram, 0, 0, Access::Write);
+  oracle.flush();
+  ASSERT_FALSE(oracle.conflicts().empty());
+
+  EXPECT_TRUE(oracle.divergences(report, tasks).empty());
+}
+
+TEST(SramOracle, UnpredictedConflictIsAStaticFalseNegative) {
+  // Static analysis saw nothing (empty deployment), but the wire observed
+  // two tasks colliding: that is exactly the divergence the oracle exists
+  // to surface.
+  const std::vector<EffectSummary> tasks;
+  const auto report = core::analyzeInterference(tasks);
+
+  asic::SramRaceOracle oracle;
+  using Access = asic::SramRaceOracle::Access;
+  oracle.beginExecution(7);
+  oracle.record(core::StatNamespace::Sram, 0, 3, Access::Write);
+  oracle.beginExecution(8);
+  oracle.record(core::StatNamespace::Sram, 0, 3, Access::Write);
+  oracle.flush();
+
+  const auto div = oracle.divergences(report, tasks);
+  ASSERT_EQ(div.size(), 1u);
+  EXPECT_NE(div[0].find("static false negative"), std::string::npos);
+}
+
+TEST(SramOracle, ArmedTestbedRecordsProbeScratchTraffic) {
+  host::Testbed tb;
+  buildChain(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(5)});
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
+
+  ProgramBuilder b;
+  b.task(4).storeImm(core::kSramBase, 7);
+  const auto program = build(b);
+  std::uint64_t echoed = 0;
+  tb.host(0).onTppResult([&](const core::ExecutedTpp&) { ++echoed; });
+  for (int i = 0; i < 8; ++i) {
+    tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+  }
+  tb.sim().run();
+
+  EXPECT_EQ(echoed, 8u);
+  EXPECT_GT(oracles.accesses(), 0u);
+  EXPECT_TRUE(oracles.conflicts().empty());
+
+  // Disarming restores the single-null-check path; nothing records.
+  const auto before = oracles.accesses();
+  host::disarmSramOracle(tb);
+  tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+  tb.sim().run();
+  EXPECT_EQ(oracles.accesses(), before);
+}
+
+}  // namespace
+}  // namespace tpp

@@ -17,8 +17,10 @@
 #include <tuple>
 #include <vector>
 
+#include "src/apps/deployment.hpp"
 #include "src/apps/microburst.hpp"
 #include "src/apps/rcpstar.hpp"
+#include "src/core/interference.hpp"
 #include "src/host/flow.hpp"
 #include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
@@ -167,6 +169,11 @@ std::vector<std::uint8_t> runRcpStar(std::uint64_t seed, std::size_t shards,
   buildDumbbell(tb, 2, host::LinkParams{1'000'000'000, sim::Time::us(10)},
                 host::LinkParams{20'000'000, sim::Time::us(200)}, cfg);
   r.arm();
+  // The race oracle runs under the determinism wall (and the TSan leg):
+  // each switch's oracle records on that switch's shard, and the observed
+  // SRAM interleavings must stay inside the static interference verdict.
+  host::SramOracleSet oracles(tb.switchCount());
+  host::armSramOracle(tb, oracles);
 
   host::FlowSpec spec;
   spec.dstMac = tb.host(2).mac();
@@ -203,6 +210,12 @@ std::vector<std::uint8_t> runRcpStar(std::uint64_t seed, std::size_t shards,
   competitor.stop();
   flow.stop();
   r.run();
+
+  const auto dep = apps::shippedDeployment();
+  const auto report = core::analyzeInterference(dep.tasks, dep.options);
+  for (const auto& line : oracles.divergences(report, dep.tasks)) {
+    ADD_FAILURE() << "static/dynamic divergence: " << line;
+  }
   return r.bytes();
 }
 
