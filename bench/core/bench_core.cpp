@@ -33,6 +33,7 @@
 #include "src/core/verifier.hpp"
 #include "src/host/collector.hpp"
 #include "src/host/flow.hpp"
+#include "src/host/tcp.hpp"
 #include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
 #include "src/net/link.hpp"
@@ -482,6 +483,92 @@ Metric benchOracleCheck(const std::string& name, bool armed) {
 }
 
 // ------------------------------------------------------------------------
+// 6c. TCP transport hot paths (DESIGN.md §12). Three shapes: the
+// handshake round trip (connection setup/teardown cost), bulk goodput
+// over the same 3-switch chain as chain_udp_pps (per-byte streaming
+// cost: segmentation, cumulative ACKs, cwnd growth), and RTO recovery
+// (timer re-arm plus go-back-N retransmission when a wire goes dark
+// mid-handshake). All three ride the --check gate like every other
+// metric: ratios against the transit anchor must not drift.
+// ------------------------------------------------------------------------
+
+Metric benchTcpHandshake() {
+  // One op = SYN -> SYN+ACK -> ACK -> FIN exchange, run to quiescence.
+  // Connections stay alive to the end of the run: the destructor does not
+  // unbind the UDP port, so tearing one down mid-run would leave a
+  // dangling demux callback.
+  return measure("tcp_handshake", 10'000, [](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 1, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    host::TcpListener listener(tb.host(1), 23000);
+    std::vector<std::unique_ptr<host::TcpConnection>> conns;
+    conns.reserve(ops);
+    std::uint64_t closed = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto& conn = *conns.emplace_back(
+          std::make_unique<host::TcpConnection>(tb.host(0),
+                                                host::TcpConnection::Config{}));
+      conn.connect(tb.host(1).mac(), tb.host(1).ip(), 23000,
+                   static_cast<std::uint16_t>(1024 + (i % 60000)), 0);
+      tb.sim().run();
+      if (conn.closedCleanly()) ++closed;
+    }
+    if (closed != ops) std::abort();
+  });
+}
+
+Metric benchTcpGoodputChain() {
+  // One op = one stream byte: a single 8 MB bulk transfer across the
+  // chain, so the per-byte figure folds in segmentation, pattern
+  // generation/verification, ACK processing and congestion growth.
+  return measure("tcp_goodput_chain", 8'000'000, [](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 3, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    host::TcpListener listener(tb.host(1), 23000);
+    host::TcpConnection conn(tb.host(0), {});
+    conn.connect(tb.host(1).mac(), tb.host(1).ip(), 23000, 40000, ops);
+    tb.sim().run();
+    if (!conn.closedCleanly()) std::abort();
+    if (listener.deliveredBytes() != ops) std::abort();
+  });
+}
+
+Metric benchTcpRtoRecovery() {
+  // One op = one transfer whose SYN hits a dark wire: the link is down
+  // for 120 us from connect, so the handshake only completes through the
+  // RTO path (50 us initial, doubling once to the 100 us cap), then one
+  // data segment and teardown flow normally. Exercises timer re-arm,
+  // backoff, and the go-back-N resend that every chaos scenario leans on.
+  return measure("tcp_rto_recovery", 2'000, [](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 1, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    sim::FaultInjector inj(tb.sim(), 1);
+    auto& hole = inj.link("h0->sw0");
+    tb.linkAt(0).aToB().setFaultState(&hole);
+    host::TcpListener listener(tb.host(1), 23000);
+    host::TcpConnection::Config cfg;
+    cfg.initialRto = sim::Time::us(50);
+    cfg.minRto = sim::Time::us(50);
+    cfg.maxRto = sim::Time::us(100);
+    std::vector<std::unique_ptr<host::TcpConnection>> conns;
+    conns.reserve(ops);
+    std::uint64_t recovered = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      hole.setDown(true);
+      tb.sim().scheduleAt(tb.sim().now() + sim::Time::us(120),
+                          [&] { hole.setDown(false); });
+      auto& conn = *conns.emplace_back(
+          std::make_unique<host::TcpConnection>(tb.host(0), cfg));
+      conn.connect(tb.host(1).mac(), tb.host(1).ip(), 23000,
+                   static_cast<std::uint16_t>(1024 + (i % 60000)), 1'000);
+      tb.sim().run();
+      if (conn.closedCleanly() && conn.rtoFires() > 0) ++recovered;
+    }
+    if (recovered != ops) std::abort();
+  });
+}
+
+// ------------------------------------------------------------------------
 // 7. Sharded runner: events/sec vs thread count on a k=8 fat tree (128
 // hosts, 80 switches), 32 cross-pod paced flows through the core — the
 // links partitionFatTree cuts. t1 is the single-threaded baseline (the
@@ -688,6 +775,9 @@ int main(int argc, char** argv) {
   metrics.push_back(benchChainTppProbes());
   metrics.push_back(benchOracleCheck("oracle_check_off", false));
   metrics.push_back(benchOracleCheck("oracle_check_on", true));
+  metrics.push_back(benchTcpHandshake());
+  metrics.push_back(benchTcpGoodputChain());
+  metrics.push_back(benchTcpRtoRecovery());
   for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     metrics.push_back(benchShardScaling(t));
   }

@@ -1,0 +1,5 @@
+# Interference fixture: a task directive and comments but zero
+# instructions. A CI glob that matches only files like this must NOT be
+# certified "conflict-free" — an empty deployment proves nothing. Rejected
+# by `tppverify --interference` with "empty program (no instructions)".
+.task 9

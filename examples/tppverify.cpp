@@ -174,6 +174,14 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto& program = std::get<tpp::core::Program>(assembled);
+      if (program.instructions.empty()) {
+        std::fprintf(stderr,
+                     "%s: error: empty program (no instructions) — nothing "
+                     "to certify\n",
+                     label.c_str());
+        anyErrors = true;
+        continue;
+      }
       // Per-program verification still applies: a deployment of faulting
       // programs is not worth analyzing for interference.
       auto vopts = opts;
@@ -189,6 +197,15 @@ int main(int argc, char** argv) {
       }
       dep.tasks.push_back(
           tpp::core::summarize(program, baseName(label), opts.maxHops));
+    }
+
+    // An empty task set is trivially "conflict-free"; certifying it would
+    // let a CI glob that matched nothing stamp a deployment as verified.
+    if (dep.tasks.empty()) {
+      std::fprintf(stderr,
+                   "tppverify: no programs to analyze — refusing to certify "
+                   "an empty deployment\n");
+      return anyErrors ? 1 : 2;
     }
 
     const auto report =

@@ -20,5 +20,6 @@ inline constexpr std::uint16_t kTaskNdb = 3;         // §2.3 path tracing
 inline constexpr std::uint16_t kTaskLimiter = 4;     // aggregate limiter
 inline constexpr std::uint16_t kTaskLatency = 5;     // latency profiler
 inline constexpr std::uint16_t kTaskMesh = 6;        // mesh prober
+inline constexpr std::uint16_t kTaskTcpTpp = 7;      // TCP congestion probe
 
 }  // namespace tpp::apps

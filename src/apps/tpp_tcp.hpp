@@ -1,0 +1,107 @@
+// TPP-accelerated TCP congestion response: the win of "Accelerating
+// End-host Congestion Response using P4 Programmable Switches" rebuilt on
+// TPPs. A per-RTT probe TPP reads every hop's queue depth and link
+// utilization; when a queue along the connection's path builds past a
+// threshold, the controller shrinks the connection's cwnd *before* the
+// queue overflows into loss — the TCP state machine itself never changes,
+// it just gets earlier feedback than a drop.
+//
+// Graceful degradation is the point of the design, not an afterthought:
+//   - probe blackout (every transmission lost): counted, no action — the
+//     connection simply behaves as pure loss-based TCP;
+//   - TCPU-off hops: the probe comes back truncated; the round is counted
+//     and skipped rather than acted on from a partial picture;
+//   - switch reboot: a BootEpoch change in the hop records marks the
+//     switch's counters as freshly zeroed; that round is skipped too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/apps/task_ids.hpp"
+#include "src/core/program.hpp"
+#include "src/host/host.hpp"
+#include "src/host/prober.hpp"
+#include "src/host/tcp.hpp"
+
+namespace tpp::apps {
+
+// The per-RTT collect program: 5 pushed words per hop.
+core::Program makeTcpCongestionProbeProgram(
+    std::size_t maxHops = 8, std::uint16_t taskId = kTaskTcpTpp);
+inline constexpr std::size_t kTcpProbeValuesPerHop = 5;
+
+class TppTcpController {
+ public:
+  struct Config {
+    std::size_t maxHops = 8;
+    // Probe cadence: max(minPeriod, connection srtt).
+    sim::Time minPeriod = sim::Time::us(200);
+    // Cut cwnd when any hop's egress queue exceeds this many bytes.
+    std::uint32_t queueThresholdBytes = 24 * 1024;
+    double cutFactor = 0.7;
+    // At most one probe-driven cut per srtt (the cut needs an RTT to act).
+    std::uint16_t taskId = kTaskTcpTpp;
+    // Reliable-probe policy.
+    sim::Time probeTimeout = sim::Time::ms(2);
+    sim::Time probeMaxBackoff = sim::Time::ms(8);
+    unsigned probeMaxRetries = 1;
+  };
+
+  // Probes along `conn`'s path (to its remote endpoint's echo service).
+  // Call start() after conn.connect(); the controller stops itself when
+  // the connection closes or fails.
+  TppTcpController(host::Host& sender, host::TcpConnection& conn,
+                   Config config);
+
+  void start(sim::Time at);
+  void stop();
+
+  // ------------------------------------------------- degradation telemetry
+  // The prober exists from the first tick onwards (see start()).
+  const host::ReliableProber& prober() const { return *prober_; }
+  std::uint64_t probesSent() const {
+    return prober_ ? prober_->probesSent() : 0;
+  }
+  std::uint64_t probeLosses() const { return probeLosses_; }
+  std::uint64_t truncatedRounds() const { return truncatedRounds_; }
+  std::uint64_t epochChanges() const { return epochChanges_; }
+  std::uint64_t probeCuts() const { return probeCuts_; }
+  std::uint32_t maxQueueSeen() const { return maxQueueSeen_; }
+  const std::map<std::uint32_t, std::uint32_t>& epochBySwitch() const {
+    return epochBySwitch_;
+  }
+
+ private:
+  // Value column layout within a hop record.
+  enum Column : std::size_t {
+    kSwitchId = 0,
+    kQueueBytes = 1,
+    kUtilizationPpm = 2,
+    kCapacityMbps = 3,
+    kBootEpoch = 4,
+  };
+
+  void tick();
+  void onEcho(const core::ExecutedTpp& tpp);
+  sim::Time period() const;
+
+  host::Host& sender_;
+  host::TcpConnection& conn_;
+  Config cfg_;
+  core::Program program_;
+  std::unique_ptr<host::ReliableProber> prober_;
+  bool running_ = false;
+  sim::EventHandle timer_;
+
+  std::map<std::uint32_t, std::uint32_t> epochBySwitch_;
+  sim::Time lastCutAt_ = sim::Time::ns(-1'000'000'000);
+  std::uint64_t probeLosses_ = 0;
+  std::uint64_t truncatedRounds_ = 0;
+  std::uint64_t epochChanges_ = 0;
+  std::uint64_t probeCuts_ = 0;
+  std::uint32_t maxQueueSeen_ = 0;
+};
+
+}  // namespace tpp::apps

@@ -49,6 +49,9 @@ std::string_view traceKindName(sim::TraceKind kind) {
     case K::ProbeDuplicate: return "probe_duplicate";
     case K::ProbeLateEcho: return "probe_late_echo";
     case K::SwitchReboot: return "switch_reboot";
+    case K::TcpRetransmit: return "tcp_retransmit";
+    case K::TcpRto: return "tcp_rto";
+    case K::TcpCwndCut: return "tcp_cwnd_cut";
   }
   return "unknown";
 }
@@ -118,6 +121,16 @@ std::string describeRecord(const sim::TraceRecord& r,
       break;
     case K::SwitchReboot:
       appendf(out, "boot_epoch=%u", r.a);
+      break;
+    case K::TcpRetransmit:
+      appendf(out, "port=%u seq=%u bytes=%u %s", r.a, r.b, r.c,
+              r.d != 0 ? "fast" : "rto");
+      break;
+    case K::TcpRto:
+      appendf(out, "port=%u rto_us=%u timeouts=%u", r.a, r.b, r.c);
+      break;
+    case K::TcpCwndCut:
+      appendf(out, "port=%u cwnd=%u reason=%u", r.a, r.b, r.c);
       break;
     case K::None:
       break;

@@ -56,9 +56,14 @@ enum class TraceKind : std::uint8_t {
   ProbeDuplicate = 17,   // a=seq
   ProbeLateEcho = 18,    // a=seq, b=hop count, c=fault code
   SwitchReboot = 19,  // a=boot epoch after the wipe
+  TcpRetransmit = 20,    // a=local port, b=seq, c=payload bytes, d=1 if fast
+  TcpRto = 21,        // a=local port, b=backed-off RTO (us), c=consecutive
+                      // timeouts so far
+  TcpCwndCut = 22,    // a=local port, b=cwnd after the cut (bytes),
+                      // c=reason (0=rto, 1=dup-ack, 2=tpp probe)
 };
 inline constexpr std::uint8_t kMaxTraceKind =
-    static_cast<std::uint8_t>(TraceKind::SwitchReboot);
+    static_cast<std::uint8_t>(TraceKind::TcpCwndCut);
 
 // One fixed-size binary record. POD by construction: the ring, the on-disk
 // format, and the decoder all treat it as 32 raw bytes.

@@ -125,4 +125,119 @@ void PoissonFlowGenerator::arrive() {
       sim::Time::seconds(gap), [this] { arrive(); });
 }
 
+// ------------------------------------------------------------- TcpIncast
+
+TcpIncast::TcpIncast(std::vector<host::Host*> senders, Config config)
+    : senders_(std::move(senders)), config_(config) {}
+
+void TcpIncast::start(sim::Time at) {
+  conns_.reserve(senders_.size());
+  records_.resize(senders_.size());
+  for (std::size_t i = 0; i < senders_.size(); ++i) {
+    records_[i].arrival = at;
+    records_[i].bytes = config_.burstBytes;
+    records_[i].sender = i;
+    auto conn = std::make_unique<host::TcpConnection>(*senders_[i],
+                                                      config_.conn);
+    host::TcpConnection* raw = conn.get();
+    TcpFlowRecord* rec = &records_[i];
+    host::Host* sender = senders_[i];
+    raw->onClosed([rec, raw] {
+      rec->completion = raw->closedAt().value_or(sim::Time::zero());
+    });
+    raw->onError([rec](const std::string&) { rec->failed = true; });
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(config_.basePort + i);
+    // Scheduled on the sender's own simulator: shard-local by design.
+    sender->simulator().scheduleAt(at, [this, raw, sender, port] {
+      raw->connect(config_.dstMac, config_.dstIp, config_.serverPort, port,
+                   config_.burstBytes);
+      (void)sender;
+    });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool TcpIncast::allDone() const {
+  for (const auto& r : records_) {
+    if (!r.done()) return false;
+  }
+  return !records_.empty();
+}
+
+std::size_t TcpIncast::finishedCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.finished() ? 1 : 0;
+  return n;
+}
+
+std::size_t TcpIncast::failedCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.failed ? 1 : 0;
+  return n;
+}
+
+// ------------------------------------------------ TcpPoissonFlowGenerator
+
+TcpPoissonFlowGenerator::TcpPoissonFlowGenerator(
+    std::vector<host::Host*> senders, Config config, sim::Rng rng)
+    : senders_(std::move(senders)), config_(config), rng_(rng) {}
+
+void TcpPoissonFlowGenerator::start(sim::Time at) {
+  // Draw the whole schedule first — the flow log depends on the Rng alone.
+  sim::Time t = at;
+  while (records_.size() < config_.maxFlows) {
+    t += sim::Time::seconds(rng_.exponential(1.0 / config_.flowsPerSecond));
+    if (t >= at + config_.horizon) break;
+    TcpFlowRecord rec;
+    rec.arrival = t;
+    rec.sender = static_cast<std::size_t>(rng_.uniformInt(
+        0, static_cast<std::int64_t>(senders_.size()) - 1));
+    rec.bytes = static_cast<std::uint64_t>(rng_.paretoBounded(
+        config_.paretoShape, config_.minFlowBytes, config_.maxFlowBytes));
+    bytesOffered_ += rec.bytes;
+    records_.push_back(rec);
+  }
+
+  conns_.reserve(records_.size());
+  for (std::size_t f = 0; f < records_.size(); ++f) {
+    host::Host* sender = senders_[records_[f].sender];
+    auto conn = std::make_unique<host::TcpConnection>(*sender, config_.conn);
+    host::TcpConnection* raw = conn.get();
+    TcpFlowRecord* rec = &records_[f];
+    raw->onClosed([rec, raw] {
+      rec->completion = raw->closedAt().value_or(sim::Time::zero());
+    });
+    raw->onError([rec](const std::string&) { rec->failed = true; });
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(config_.basePort + f);
+    const std::uint64_t bytes = records_[f].bytes;
+    sender->simulator().scheduleAt(
+        records_[f].arrival, [this, raw, port, bytes] {
+          raw->connect(config_.dstMac, config_.dstIp, config_.serverPort,
+                       port, bytes);
+        });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool TcpPoissonFlowGenerator::allDone() const {
+  for (const auto& r : records_) {
+    if (!r.done()) return false;
+  }
+  return !records_.empty();
+}
+
+std::size_t TcpPoissonFlowGenerator::finishedCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.finished() ? 1 : 0;
+  return n;
+}
+
+std::size_t TcpPoissonFlowGenerator::failedCount() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.failed ? 1 : 0;
+  return n;
+}
+
 }  // namespace tpp::workload

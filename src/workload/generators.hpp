@@ -6,6 +6,15 @@
 //   IncastBurst          N senders fire a B-byte burst at one receiver
 //                        simultaneously (the canonical micro-burst source)
 //   PoissonFlowGenerator Poisson arrivals of bounded-Pareto-sized flows
+//   TcpIncast            the incast shape over real TCP connections
+//   TcpPoissonFlowGenerator  Poisson/bounded-Pareto arrivals over TCP
+//
+// Shard discipline of the TCP generators: the whole arrival schedule
+// (times, sizes, senders) is precomputed from the Rng at start(), before
+// the simulation runs, and each connection's connect() is scheduled on its
+// own host's simulator. Nothing about shard placement feeds the schedule,
+// so a fixed seed yields an identical flow log on 1, 2 or 4 shards — and
+// generators may span shards, unlike the event-driven UDP ones above.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 
 #include "src/host/flow.hpp"
 #include "src/host/host.hpp"
+#include "src/host/tcp.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -120,6 +130,98 @@ class PoissonFlowGenerator {
   std::size_t flowsStarted_ = 0;
   std::uint64_t bytesOffered_ = 0;
   sim::EventHandle pending_;
+};
+
+// One TCP flow's life, as the generators see it. `arrival`, `bytes` and
+// `sender` are fixed when the schedule is drawn; `completion`/`failed` are
+// filled in by the connection's callbacks as the simulation runs.
+struct TcpFlowRecord {
+  sim::Time arrival;
+  std::uint64_t bytes = 0;
+  std::size_t sender = 0;  // index into the generator's sender list
+  sim::Time completion = sim::Time::zero();  // clean close; zero = pending
+  bool failed = false;
+
+  bool finished() const { return completion > sim::Time::zero(); }
+  bool done() const { return finished() || failed; }
+  sim::Time fct() const { return completion - arrival; }
+};
+
+// Synchronized incast over TCP: every sender opens a connection to the
+// receiver's TcpListener (which the caller owns) and streams `burstBytes`.
+// Sender i binds local port basePort + i. One shot.
+class TcpIncast {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    std::uint16_t serverPort = 23000;
+    std::uint16_t basePort = 30000;
+    std::uint64_t burstBytes = 64 * 1024;
+    host::TcpConnection::Config conn;
+  };
+
+  TcpIncast(std::vector<host::Host*> senders, Config config);
+
+  void start(sim::Time at);
+
+  std::size_t flowCount() const { return conns_.size(); }
+  // Per-sender connection, e.g. for attaching a TppTcpController.
+  host::TcpConnection& connection(std::size_t i) { return *conns_.at(i); }
+  const std::vector<TcpFlowRecord>& records() const { return records_; }
+  bool allDone() const;
+  std::size_t finishedCount() const;
+  std::size_t failedCount() const;
+
+ private:
+  std::vector<host::Host*> senders_;
+  Config config_;
+  std::vector<std::unique_ptr<host::TcpConnection>> conns_;
+  std::vector<TcpFlowRecord> records_;
+};
+
+// Poisson arrivals of bounded-Pareto-sized flows, each a fresh TCP
+// connection from a (uniformly drawn) sender to the receiver's listener.
+// The schedule covers [at, at + horizon) and is drawn entirely at start();
+// flow f binds local port basePort + f.
+class TcpPoissonFlowGenerator {
+ public:
+  struct Config {
+    net::MacAddress dstMac;
+    net::Ipv4Address dstIp;
+    std::uint16_t serverPort = 23000;
+    std::uint16_t basePort = 40000;
+    double flowsPerSecond = 200.0;
+    double paretoShape = 1.2;
+    double minFlowBytes = 2.0 * 1024;
+    double maxFlowBytes = 1.0 * 1024 * 1024;
+    sim::Time horizon = sim::Time::ms(100);
+    std::size_t maxFlows = 4096;  // schedule cap (also bounds the ports)
+    host::TcpConnection::Config conn;
+  };
+
+  TcpPoissonFlowGenerator(std::vector<host::Host*> senders, Config config,
+                          sim::Rng rng);
+
+  void start(sim::Time at);
+
+  std::size_t flowCount() const { return conns_.size(); }
+  host::TcpConnection& connection(std::size_t i) { return *conns_.at(i); }
+  // The flow log: (arrival, bytes, sender) are the drawn schedule — the
+  // shard-count-invariant part — plus completion as it happens.
+  const std::vector<TcpFlowRecord>& records() const { return records_; }
+  std::uint64_t bytesOffered() const { return bytesOffered_; }
+  bool allDone() const;
+  std::size_t finishedCount() const;
+  std::size_t failedCount() const;
+
+ private:
+  std::vector<host::Host*> senders_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<host::TcpConnection>> conns_;
+  std::vector<TcpFlowRecord> records_;
+  std::uint64_t bytesOffered_ = 0;
 };
 
 }  // namespace tpp::workload

@@ -6,7 +6,9 @@
 
 #include "src/core/memory_map.hpp"
 #include "src/host/topology.hpp"
+#include "src/host/telemetry.hpp"
 #include "src/sim/fault.hpp"
+#include "src/sim/trace.hpp"
 
 namespace tpp::host {
 namespace {
@@ -152,6 +154,65 @@ TEST_F(ProberFixture, LateEchoAfterLossIsSalvaged) {
   EXPECT_EQ(prober.losses(), 1u);
   EXPECT_EQ(prober.lateResults(), 1u);
   EXPECT_EQ(prober.duplicates(), 0u);
+  EXPECT_EQ(prober.outstanding(), 0u);
+}
+
+TEST_F(ProberFixture, RetransmitBackoffDoublesToCapThenHolds) {
+  // Black-holed wire with timeout 1 ms and a 4 ms backoff cap: the gaps
+  // between successive retransmissions must read 2, 4, 4, 4 ms — one
+  // doubling, then pinned at the cap. Verified from the ProbeRetransmit
+  // trace timestamps, not from counters, so a silently-wrong schedule
+  // (e.g. unbounded doubling) can't pass.
+  sim::Tracer tracer(1u << 12);
+  armTracing(tb, tracer);
+  sim::FaultInjector inj(tb.sim(), 4);
+  auto& hole = inj.link("hole", {1.0, 0.0});
+  tb.linkAt(0).aToB().setFaultState(&hole);
+
+  auto c = cfg(sim::Time::ms(1), 5);
+  c.maxBackoff = sim::Time::ms(4);
+  ReliableProber prober(tb.host(0), c);
+  int losses = 0;
+  prober.send(program, [](const core::ExecutedTpp&) {},
+              [&](std::uint32_t) { ++losses; });
+  tb.sim().run(sim::Time::sec(1));
+
+  EXPECT_EQ(prober.retransmits(), 5u);
+  EXPECT_EQ(losses, 1);
+  if (sim::kTraceCompiledIn) {
+    const auto decoded = sim::decodeTrace(tracer.serialize());
+    ASSERT_TRUE(decoded.ok);
+    std::vector<std::int64_t> at;
+    for (const auto& r : decoded.records) {
+      if (r.kindOf() == sim::TraceKind::ProbeRetransmit)
+        at.push_back(r.tsNanos);
+    }
+    ASSERT_EQ(at.size(), 5u);
+    ASSERT_EQ(at[1] - at[0], sim::Time::ms(2).nanos());
+    for (std::size_t i = 2; i < at.size(); ++i) {
+      EXPECT_EQ(at[i] - at[i - 1], sim::Time::ms(4).nanos());
+    }
+  }
+}
+
+TEST_F(ProberFixture, LateEchoAfterRetriesExhaustedIsSalvageNotDuplicate) {
+  // Every retry spent and the loss declared while all three copies (the
+  // original and two retransmissions) are still in flight. The first echo
+  // to land must be salvaged as the probe's (late) result; only the
+  // remaining copies count as duplicates.
+  ReliableProber prober(tb.host(0), cfg(sim::Time::us(1), 2));
+  int results = 0;
+  std::vector<std::uint32_t> lost;
+  prober.send(program, [&](const core::ExecutedTpp&) { ++results; },
+              [&](std::uint32_t seq) { lost.push_back(seq); });
+  tb.sim().run(sim::Time::ms(100));
+
+  ASSERT_EQ(lost.size(), 1u);  // loss reported before any echo landed
+  EXPECT_EQ(results, 1);       // ...then the first echo still delivered
+  EXPECT_EQ(prober.retransmits(), 2u);
+  EXPECT_EQ(prober.losses(), 1u);
+  EXPECT_EQ(prober.lateResults(), 1u);
+  EXPECT_EQ(prober.duplicates(), 2u);  // the other two copies, not three
   EXPECT_EQ(prober.outstanding(), 0u);
 }
 
