@@ -43,6 +43,7 @@
 #include "src/sim/simulator.hpp"
 #include "src/sim/trace.hpp"
 #include "src/tcpu/tcpu.hpp"
+#include "src/workload/scenario.hpp"
 
 // ------------------------------------------------------------------------
 // Heap instrumentation: every global allocation in the process is counted.
@@ -623,6 +624,59 @@ Metric benchShardScaling(std::size_t shards) {
 }
 
 // ------------------------------------------------------------------------
+// 8. Declarative scenario runner on a k=16 fat tree (1024 hosts, 320
+// switches): events/sec through the full runner path — parse-grade config,
+// compiled Poisson web-search schedule, TCP flows, TPP controllers, queue
+// samplers. A shortened slice of the `ctest -L scale` web-search scenario,
+// single shard so the figure is the deterministic sequential path.
+// ------------------------------------------------------------------------
+
+Metric benchScenarioK16() {
+  workload::ScenarioConfig c;
+  c.name = "bench_k16";
+  c.seed = 42;
+  c.horizonMs = 1.0;
+  c.topology = workload::TopologyType::FatTree;
+  c.k = 16;
+  c.linkGbps = 10.0;
+  c.linkDelayUs = 2.0;
+  c.bufferKb = 128;
+  c.pattern = workload::TrafficPattern::Poisson;
+  c.sizeDist = workload::FlowSizeDist::WebSearch;
+  c.sizeScale = 0.02;
+  c.flowsPerSec = 40'000;
+  c.maxFlows = 100;
+  c.participants = 128;
+  c.mss = 1000;
+  c.tppController = true;
+  c.maxControllers = 32;
+  c.queueSampleUs = 100.0;
+
+  const auto allocs0 = g_allocCount.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto run = workload::runScenario(c);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto allocs1 = g_allocCount.load(std::memory_order_relaxed);
+  if (run.result.finished + run.result.failed != run.result.flows ||
+      run.result.flows == 0) {
+    std::abort();
+  }
+  const std::uint64_t events = run.result.eventsExecuted;
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  Metric m;
+  m.name = "scale_k16_events_per_sec";
+  m.ops = events;
+  m.nsPerOp = ns / static_cast<double>(events);
+  m.opsPerSec = m.nsPerOp > 0 ? 1e9 / m.nsPerOp : 0;
+  m.allocsPerOp =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(events);
+  std::printf("  %-28s %10.1f ns/op  %12.0f ops/s  %6.2f allocs/op\n",
+              m.name.c_str(), m.nsPerOp, m.opsPerSec, m.allocsPerOp);
+  return m;
+}
+
+// ------------------------------------------------------------------------
 // JSON output
 // ------------------------------------------------------------------------
 
@@ -781,6 +835,7 @@ int main(int argc, char** argv) {
   for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     metrics.push_back(benchShardScaling(t));
   }
+  metrics.push_back(benchScenarioK16());
   writeJson(out, metrics);
   std::printf("wrote %s (%zu metrics)\n", out, metrics.size());
 

@@ -265,25 +265,20 @@ void Switch::receive(net::PacketPtr packet, std::size_t port) {
 namespace {
 
 // ECMP flow hash over the 5-tuple: flows pin to one path, different flows
-// spread. FNV-1a over the header fields.
+// spread. Built on the public FlowHasher (tables.hpp) so predictors hash
+// identically; non-UDP packets just mix fewer fields.
 std::uint64_t flowHashOf(const ParsedPacket& parsed) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ULL;
-    }
-  };
+  FlowHasher h;
   if (parsed.ip) {
-    mix(parsed.ip->src.value());
-    mix(parsed.ip->dst.value());
-    mix(parsed.ip->protocol);
+    h.mix(parsed.ip->src.value());
+    h.mix(parsed.ip->dst.value());
+    h.mix(parsed.ip->protocol);
   }
   if (parsed.udp) {
-    mix(parsed.udp->srcPort);
-    mix(parsed.udp->dstPort);
+    h.mix(parsed.udp->srcPort);
+    h.mix(parsed.udp->dstPort);
   }
-  return h;
+  return h.value();
 }
 
 }  // namespace

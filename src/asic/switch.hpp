@@ -72,6 +72,9 @@ class Switch : public net::Node {
   L2Table& l2() { return l2_; }
   L3LpmTable& l3() { return l3_; }
   Tcam& tcam() { return tcam_; }
+  const L2Table& l2() const { return l2_; }
+  const L3LpmTable& l3() const { return l3_; }
+  const Tcam& tcam() const { return tcam_; }
   core::EdgeFilter& edgeFilter() { return edgeFilter_; }
   core::SramAllocator& sramAllocator() { return sram_.allocator; }
 

@@ -20,6 +20,40 @@ inline std::uint32_t packEntryId(std::uint16_t id, std::uint16_t version) {
   return (static_cast<std::uint32_t>(version) << 16) | id;
 }
 
+// The pipeline's ECMP flow hash (FNV-1a 64 over header fields, one
+// little-endian u64 per field). Public so path predictors — the ECMP
+// property tests and host::PathOracle — compute the exact hash the
+// dataplane will use, rather than re-guessing its mixing order.
+class FlowHasher {
+ public:
+  FlowHasher& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 1099511628211ULL;
+    }
+    return *this;
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+// The hash of a full UDP/IPv4 5-tuple — what every TCP-over-UDP segment
+// and TPP probe of a given flow hashes to on every switch.
+inline std::uint64_t ecmpFlowHash(net::Ipv4Address src, net::Ipv4Address dst,
+                                  std::uint8_t protocol,
+                                  std::uint16_t srcPort,
+                                  std::uint16_t dstPort) {
+  return FlowHasher()
+      .mix(src.value())
+      .mix(dst.value())
+      .mix(protocol)
+      .mix(srcPort)
+      .mix(dstPort)
+      .value();
+}
+
 struct MatchResult {
   std::size_t outPort = 0;
   std::uint32_t entryId = 0;     // packed (version << 16) | id

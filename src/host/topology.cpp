@@ -241,6 +241,51 @@ FatTreeIndex buildFatTree(Testbed& tb, std::size_t k, LinkParams lp,
   return ix;
 }
 
+PathOracle::PathOracle(const Testbed& tb) : tb_(tb) {
+  // attachmentOf() is a linear scan per call; snapshot the whole wiring
+  // once so path() walks hops in O(1) each.
+  for (std::size_t i = 0; i < tb.linkCount(); ++i) {
+    const Testbed::Edge& e = tb.edgeAt(i);
+    auto& va = peers_[e.a];
+    if (va.size() <= e.portA) va.resize(e.portA + 1);
+    va[e.portA] = {e.b, e.portB};
+    auto& vb = peers_[e.b];
+    if (vb.size() <= e.portB) vb.resize(e.portB + 1);
+    vb[e.portB] = {e.a, e.portA};
+  }
+}
+
+std::vector<PathOracle::Hop> PathOracle::path(const Host& src,
+                                              const Host& dst,
+                                              std::uint16_t srcPort,
+                                              std::uint16_t dstPort,
+                                              std::uint8_t protocol) const {
+  std::vector<Hop> hops;
+  const std::uint64_t hash =
+      asic::ecmpFlowHash(src.ip(), dst.ip(), protocol, srcPort, dstPort);
+  const auto first = peers_.find(&src);
+  if (first == peers_.end() || first->second.empty() ||
+      first->second[0].node == nullptr) {
+    return {};
+  }
+  Peer cur = first->second[0];  // hosts transmit on NIC port 0
+  for (int hop = 0; hop < 64; ++hop) {
+    if (cur.node == &dst) return hops;
+    const auto* sw = dynamic_cast<const asic::Switch*>(cur.node);
+    if (sw == nullptr) return {};  // delivered to the wrong host
+    const auto match = sw->l3().match(dst.ip(), hash);
+    if (!match) return {};
+    hops.push_back({sw, cur.port, match->outPort});
+    const auto it = peers_.find(cur.node);
+    if (it == peers_.end() || match->outPort >= it->second.size() ||
+        it->second[match->outPort].node == nullptr) {
+      return {};
+    }
+    cur = it->second[match->outPort];
+  }
+  return {};  // > 64 hops: a loop
+}
+
 ShardPlan partitionFatTree(std::size_t k, std::size_t shards) {
   assert(k >= 2 && k % 2 == 0);
   FatTreeIndex ix;

@@ -100,6 +100,16 @@ class Testbed {
   };
   Attachment attachmentOf(const Host& h) const;
 
+  // One wired link's endpoints, in link() call order — the adjacency a
+  // PathOracle walks. edgeAt(i) describes linkAt(i).
+  struct Edge {
+    net::Node* a;
+    std::size_t portA;
+    net::Node* b;
+    std::size_t portB;
+  };
+  const Edge& edgeAt(std::size_t i) const { return edges_.at(i); }
+
   // ------------------------------------------- interference install gate
   // Declares a lock word (and the scratch it protects) for every later
   // installTask() analysis — e.g. the standard RCP lock,
@@ -125,13 +135,6 @@ class Testbed {
   }
 
  private:
-  struct Edge {
-    net::Node* a;
-    std::size_t portA;
-    net::Node* b;
-    std::size_t portB;
-  };
-
   ShardPlan plan_;
   std::unique_ptr<sim::ShardedSimulator> ssim_;
   std::unordered_map<const net::Node*, std::size_t> nodeShard_;
@@ -195,6 +198,42 @@ struct FatTreeIndex {
 
 FatTreeIndex buildFatTree(Testbed& tb, std::size_t k, LinkParams linkParams,
                           asic::SwitchConfig switchConfig = {});
+
+// Predicts the switch-by-switch path a 5-tuple's packets take through a
+// built testbed, by replaying each hop's L3 longest-prefix lookup with the
+// pipeline's own ECMP flow hash (asic::ecmpFlowHash) over a snapshot of
+// the wiring. Covers L3-routed traffic — every TCP-over-UDP segment and
+// TPP probe; TCAM rules (which match before L3) are not modelled.
+//
+// This is what makes ECMP *testable*: the property suite asserts the
+// predicted path is one of the analytic equal-cost shortest paths and that
+// actual forwarded traffic agrees with the prediction.
+class PathOracle {
+ public:
+  explicit PathOracle(const Testbed& tb);
+
+  struct Hop {
+    const asic::Switch* sw = nullptr;
+    std::size_t inPort = 0;   // port the packet arrived on
+    std::size_t outPort = 0;  // port the L3 lookup selected
+  };
+
+  // The full switch path from `src` to `dst` for one flow's 5-tuple.
+  // Empty if routing dead-ends, leaves the fabric at the wrong host, or
+  // exceeds 64 hops (a loop).
+  std::vector<Hop> path(const Host& src, const Host& dst,
+                        std::uint16_t srcPort, std::uint16_t dstPort,
+                        std::uint8_t protocol = 17) const;
+
+ private:
+  const Testbed& tb_;
+  // (node, egress port) -> (peer node, peer ingress port).
+  struct Peer {
+    const net::Node* node = nullptr;
+    std::size_t port = 0;
+  };
+  std::unordered_map<const net::Node*, std::vector<Peer>> peers_;
+};
 
 // Default min-cut-ish partition for buildFatTree(k): pods are assigned to
 // shards in contiguous blocks (hosts, edge and aggregation switches follow

@@ -1,0 +1,132 @@
+#include "src/workload/flow_size.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tpp::workload {
+namespace {
+
+// The pFabric encodings of the two production mixes, knots in (packets of
+// 1460 B, cumulative probability). Converted to bytes at construction.
+constexpr double kPacketBytes = 1460.0;
+
+constexpr CdfPoint kWebSearch[] = {
+    {1, 0.0},  {6, 0.15},    {13, 0.2},   {19, 0.3},
+    {33, 0.4}, {53, 0.53},   {133, 0.6},  {667, 0.7},
+    {1333, 0.8}, {3333, 0.9}, {6667, 0.97}, {20000, 1.0},
+};
+
+// The repeated first knot is a point mass: half of all data-mining flows
+// are a single packet.
+constexpr CdfPoint kDataMining[] = {
+    {1, 0.0},    {1, 0.5},     {2, 0.6},      {3, 0.7},
+    {7, 0.8},    {267, 0.9},   {2107, 0.95},  {66667, 0.98},
+    {666667, 1.0},
+};
+
+constexpr double kParetoShape = 1.2;
+constexpr double kParetoLo = 2.0 * 1024;
+constexpr double kParetoHi = 1024.0 * 1024;
+
+double paretoBoundedQuantile(double q) {
+  // Inverse CDF of the bounded Pareto on [lo, hi].
+  const double la = std::pow(kParetoLo, kParetoShape);
+  const double ha = std::pow(kParetoHi, kParetoShape);
+  return std::pow(-(q * ha - q * la - ha) / (ha * la), -1.0 / kParetoShape);
+}
+
+}  // namespace
+
+bool flowSizeDistFromName(std::string_view name, FlowSizeDist& out) {
+  if (name == "websearch") out = FlowSizeDist::WebSearch;
+  else if (name == "datamining") out = FlowSizeDist::DataMining;
+  else if (name == "pareto") out = FlowSizeDist::Pareto;
+  else if (name == "fixed") out = FlowSizeDist::Fixed;
+  else return false;
+  return true;
+}
+
+std::string_view flowSizeDistName(FlowSizeDist dist) {
+  switch (dist) {
+    case FlowSizeDist::WebSearch: return "websearch";
+    case FlowSizeDist::DataMining: return "datamining";
+    case FlowSizeDist::Pareto: return "pareto";
+    case FlowSizeDist::Fixed: return "fixed";
+  }
+  return "?";
+}
+
+FlowSizeSampler::FlowSizeSampler(FlowSizeDist dist, double scale,
+                                 std::uint64_t fixedBytes)
+    : dist_(dist), scale_(scale > 0 ? scale : 1.0), fixedBytes_(fixedBytes) {
+  const auto load = [this](std::span<const CdfPoint> knots) {
+    cdf_.reserve(knots.size());
+    for (const CdfPoint& p : knots) {
+      cdf_.push_back({p.bytes * kPacketBytes, p.cum});
+    }
+  };
+  if (dist == FlowSizeDist::WebSearch) load(kWebSearch);
+  if (dist == FlowSizeDist::DataMining) load(kDataMining);
+}
+
+std::uint64_t FlowSizeSampler::draw(sim::Rng& rng) const {
+  // Exactly one uniform per draw, for every distribution, so swapping the
+  // mix in a scenario config never desynchronizes other substreams.
+  const double u = rng.uniform(0.0, 1.0);
+  const double bytes = quantileBytes(u);
+  return bytes < 1.0 ? 1 : static_cast<std::uint64_t>(bytes);
+}
+
+double FlowSizeSampler::meanBytes() const {
+  switch (dist_) {
+    case FlowSizeDist::Fixed:
+      return static_cast<double>(fixedBytes_) * scale_;
+    case FlowSizeDist::Pareto: {
+      // E[X] of the bounded Pareto, shape != 1.
+      const double a = kParetoShape;
+      const double la = std::pow(kParetoLo, a);
+      const double num = la * a / (a - 1) *
+                         (1 / std::pow(kParetoLo, a - 1) -
+                          1 / std::pow(kParetoHi, a - 1));
+      return num / (1 - std::pow(kParetoLo / kParetoHi, a)) * scale_;
+    }
+    case FlowSizeDist::WebSearch:
+    case FlowSizeDist::DataMining:
+      break;
+  }
+  // Piecewise-linear CDF: E[X] = sum over segments of dF x midpoint.
+  double mean = 0;
+  for (std::size_t i = 1; i < cdf_.size(); ++i) {
+    mean += (cdf_[i].cum - cdf_[i - 1].cum) *
+            (cdf_[i].bytes + cdf_[i - 1].bytes) / 2.0;
+  }
+  return mean * scale_;
+}
+
+double FlowSizeSampler::quantileBytes(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  switch (dist_) {
+    case FlowSizeDist::Fixed:
+      return static_cast<double>(fixedBytes_) * scale_;
+    case FlowSizeDist::Pareto:
+      return paretoBoundedQuantile(q) * scale_;
+    case FlowSizeDist::WebSearch:
+    case FlowSizeDist::DataMining:
+      break;
+  }
+  assert(!cdf_.empty());
+  for (std::size_t i = 1; i < cdf_.size(); ++i) {
+    const CdfPoint& a = cdf_[i - 1];
+    const CdfPoint& b = cdf_[i];
+    if (q > b.cum) continue;
+    // Point mass (equal sizes) or degenerate probability step: no
+    // interpolation possible or needed.
+    if (b.cum <= a.cum || b.bytes <= a.bytes) return b.bytes * scale_;
+    const double frac = (q - a.cum) / (b.cum - a.cum);
+    return (a.bytes + frac * (b.bytes - a.bytes)) * scale_;
+  }
+  return cdf_.back().bytes * scale_;
+}
+
+}  // namespace tpp::workload

@@ -1,0 +1,197 @@
+// Datacenter-scale scenario library: a declarative config format plus a
+// data-driven runner, so new large-scale experiments are data, not code.
+//
+// A scenario file (`.scn`, see examples/scenarios/) names a topology
+// (fat-tree k=4..32, chain, star, dumbbell), a TCP workload (Poisson flow
+// mix over the web-search/data-mining size distributions of flow_size.hpp,
+// sustained incast storms, or an all-to-all shuffle), optional stochastic
+// link faults, the TPP task set (per-connection TppTcpController), a shard
+// plan, and metric knobs. The runner compiles the workload into a flow
+// schedule drawn entirely from the scenario's own seeded Rng *before* the
+// simulation starts — shard placement never perturbs a single draw — then
+// builds the testbed, runs to completion, and reports flow-completion-time
+// percentiles and queue-occupancy statistics.
+//
+// Determinism contract: at a fixed seed, summaryText() is byte-identical
+// run to run AND across shard counts (the physical simulation is
+// shard-invariant; only run metadata like events-executed varies), and the
+// merged flight-recorder trace is byte-identical run to run at each shard
+// count. The determinism wall (`ctest -L determinism`) and the scale suite
+// (`ctest -L scale`, via `tppscenario --verify-shards`) enforce both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/workload/flow_size.hpp"
+
+namespace tpp::workload {
+
+enum class TopologyType : std::uint8_t { FatTree, Chain, Star, Dumbbell };
+enum class TrafficPattern : std::uint8_t { Poisson, Incast, Shuffle };
+
+// Everything a `.scn` file can say. Field defaults are the documented
+// config defaults; serializeScenario() emits every field so a round-trip
+// is exact.
+struct ScenarioConfig {
+  // [scenario]
+  std::string name = "unnamed";
+  std::uint64_t seed = 1;
+  std::size_t shards = 1;          // >1 requires a fat-tree topology
+  double horizonMs = 5.0;          // workload/metric window; the run itself
+                                   // continues until every flow completes
+
+  // [topology]
+  TopologyType topology = TopologyType::FatTree;
+  std::size_t k = 8;               // fat-tree arity (even, 4..32)
+  std::size_t nodes = 3;           // chain switches / star senders /
+                                   // dumbbell pairs
+  double linkGbps = 10.0;
+  double linkDelayUs = 2.0;
+  std::uint64_t bufferKb = 256;    // per egress queue
+  std::uint64_t ecnThresholdKb = 0;
+
+  // [workload]
+  TrafficPattern pattern = TrafficPattern::Poisson;
+  FlowSizeDist sizeDist = FlowSizeDist::WebSearch;
+  double sizeScale = 1.0;          // multiplies every drawn size
+  std::uint64_t fixedKb = 64;      // the `fixed` distribution / burst size
+  double load = 0.1;               // fraction of aggregate edge capacity
+                                   // (ignored when flowsPerSec > 0)
+  double flowsPerSec = 0.0;
+  std::size_t maxFlows = 2000;     // schedule cap (also bounds ports)
+  std::size_t participants = 0;    // hosts taking part; 0 = all
+  std::uint32_t mss = 1000;
+  std::size_t fanin = 16;          // incast: senders per storm round
+  double periodUs = 500.0;         // incast: round period
+  std::size_t rounds = 4;          // incast: storm rounds
+  double staggerUs = 10.0;         // shuffle: per-source arrival stagger
+
+  // [tpp]
+  bool tppController = false;      // attach TppTcpController to senders
+  std::uint64_t queueThresholdKb = 24;
+  std::size_t maxControllers = 64; // first N flows get a controller
+
+  // [faults]
+  double dropRate = 0.0;           // i.i.d. per-packet, every link
+  double corruptRate = 0.0;
+
+  // [metrics]
+  double queueSampleUs = 100.0;    // queue-occupancy sampling period
+
+  bool operator==(const ScenarioConfig&) const = default;
+
+  // Host count the configured topology will create.
+  std::size_t hostCount() const;
+  // Participant host indices (stride-spread across the topology).
+  std::vector<std::size_t> participantHosts() const;
+};
+
+std::string_view topologyTypeName(TopologyType t);
+std::string_view trafficPatternName(TrafficPattern p);
+
+// ------------------------------------------------------------------ parse
+struct ParsedScenario {
+  bool ok = false;
+  ScenarioConfig config;
+  std::string error;  // "line N: what went wrong" (first error wins)
+};
+
+// Parses the `.scn` text: `[section]` headers, `key = value` lines, `#`
+// comments. Unknown sections/keys, malformed values and out-of-range
+// settings are rejected with the offending line number.
+ParsedScenario parseScenario(std::string_view text);
+ParsedScenario parseScenarioFile(const std::string& path);
+
+// Canonical form: every field, fixed section/key order. Parsing the output
+// reproduces the config exactly (round-trip property).
+std::string serializeScenario(const ScenarioConfig& config);
+
+// --------------------------------------------------------------- schedule
+// One planned TCP flow. Drawn entirely from the scenario Rng before the
+// simulation runs; `src`/`dst` are testbed host indices.
+struct FlowPlan {
+  sim::Time arrival;
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+// The deterministic workload compiler (exposed for the property tests):
+// same config, same schedule, byte for byte.
+std::vector<FlowPlan> compileSchedule(const ScenarioConfig& config);
+
+// ------------------------------------------------------------------- run
+struct ScenarioResult {
+  // Topology actually built.
+  std::size_t switches = 0;
+  std::size_t hosts = 0;
+  std::size_t links = 0;
+  std::size_t shards = 1;
+
+  // Flow outcomes.
+  std::size_t flows = 0;
+  std::size_t finished = 0;
+  std::size_t failed = 0;
+  std::uint64_t bytesOffered = 0;
+
+  // FCT percentiles in microseconds (overall and by size bucket; the
+  // bucket boundaries scale with sizeScale like the sizes themselves).
+  struct FctStats {
+    std::size_t n = 0;
+    double p50Us = 0, p95Us = 0, p99Us = 0, meanUs = 0, maxUs = 0;
+  };
+  FctStats fct;       // all finished flows
+  FctStats fctSmall;  // <= 100 KB x sizeScale
+  FctStats fctLarge;  // >= 1 MB x sizeScale
+
+  // Queue occupancy: periodic per-port samples across every switch,
+  // nonzero samples only (an idle fabric contributes nothing).
+  std::uint64_t queueSamples = 0;
+  std::uint64_t queueP50Bytes = 0;
+  std::uint64_t queueP99Bytes = 0;
+  std::uint64_t queueMaxBytes = 0;
+
+  // TPP controller activity (zero when [tpp] controller = off).
+  std::uint64_t tppProbesSent = 0;
+  std::uint64_t tppCwndCuts = 0;
+
+  // Fault layer activity.
+  std::uint64_t faultDrops = 0;
+  std::uint64_t faultCorruptions = 0;
+
+  // Run metadata — shard-count-DEPENDENT, excluded from summaryText().
+  std::uint64_t eventsExecuted = 0;
+
+  // Content digests over the flow log and the queue samples (FNV-1a 64).
+  std::uint64_t flowDigest = 0;
+  std::uint64_t queueDigest = 0;
+
+  // The canonical human/machine-readable report: deterministic at a fixed
+  // seed across runs AND shard counts. The scale suite compares these
+  // byte for byte.
+  std::string summaryText(const ScenarioConfig& config) const;
+};
+
+struct RunOptions {
+  std::size_t shardsOverride = 0;  // 0 = config.shards
+  bool captureTrace = false;       // fill ScenarioRun::trace (merged)
+  std::size_t traceRing = 1u << 14;
+};
+
+struct ScenarioRun {
+  ScenarioResult result;
+  std::vector<std::uint8_t> trace;  // empty unless captureTrace
+};
+
+// Builds the testbed, runs the scenario to completion (every flow closed
+// or failed), and aggregates the metrics. The config must have passed
+// parsing/validation — programmatically built configs can be re-checked by
+// round-tripping through parseScenario(serializeScenario(c)).
+ScenarioRun runScenario(const ScenarioConfig& config,
+                        const RunOptions& options = {});
+
+}  // namespace tpp::workload

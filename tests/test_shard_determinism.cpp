@@ -29,6 +29,7 @@
 #include "src/sim/random.hpp"
 #include "src/sim/trace.hpp"
 #include "src/workload/generators.hpp"
+#include "src/workload/scenario.hpp"
 
 namespace tpp::test {
 namespace {
@@ -429,6 +430,95 @@ TEST(ShardDeterminism, DifferentSeedsDiffer) {
   if (!sim::kTraceCompiledIn) GTEST_SKIP() << "built with TPP_TRACE=OFF";
   EXPECT_NE(runScenario(Scenario::Incast, 11, 2, false),
             runScenario(Scenario::Incast, 23, 2, false));
+}
+
+// ------------------- data-driven scenario-runner wall (ISSUE 9)
+// The declarative runner path — parser, schedule compiler, fat-tree shard
+// partition, TCP engine, queue sampler — gets the same guard the
+// hand-wired testbeds above have. Config is data, not code.
+
+constexpr char kWallScenario[] = R"(
+[scenario]
+name = wall_k4
+seed = 97
+horizon_ms = 2
+
+[topology]
+type = fattree
+k = 4
+link_gbps = 10
+link_delay_us = 2
+buffer_kb = 128
+
+[workload]
+pattern = poisson
+size_dist = websearch
+size_scale = 0.01
+flows_per_sec = 20000
+max_flows = 40
+participants = 16
+mss = 1000
+
+[tpp]
+controller = on
+max_controllers = 8
+
+[metrics]
+queue_sample_us = 100
+)";
+
+// At each shard count, a rerun's merged flight-recorder trace must be
+// byte-identical (trace bytes cannot match *across* shard counts — the
+// merge prefixes actors with their shard — which is why the cross-count
+// check below compares the physical observables instead).
+TEST(ScenarioRunnerDeterminism, RunToRunMergedTraceByteIdentical) {
+  const auto parsed = workload::parseScenario(kWallScenario);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    workload::RunOptions opts;
+    opts.shardsOverride = shards;
+    opts.captureTrace = true;
+    opts.traceRing = kRing;
+    const auto a = workload::runScenario(parsed.config, opts);
+    const auto b = workload::runScenario(parsed.config, opts);
+    ASSERT_GT(a.result.flows, 0u);
+    EXPECT_EQ(a.result.finished + a.result.failed, a.result.flows)
+        << shards << "-shard run left flows unfinished";
+    EXPECT_EQ(a.trace, b.trace)
+        << shards << "-shard scenario-runner trace varies run to run";
+    EXPECT_EQ(a.result.summaryText(parsed.config),
+              b.result.summaryText(parsed.config));
+  }
+}
+
+// Across shard counts the physical observables — the full summary, the
+// per-flow digest (arrivals, sizes, completions) and the queue-sample
+// digest — must be byte-identical at a fixed seed.
+TEST(ScenarioRunnerDeterminism, SummaryInvariantAcrossShardCounts) {
+  const auto parsed = workload::parseScenario(kWallScenario);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  std::string refSummary;
+  std::uint64_t refFlowDigest = 0, refQueueDigest = 0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    workload::RunOptions opts;
+    opts.shardsOverride = shards;
+    const auto run = workload::runScenario(parsed.config, opts);
+    const std::string summary = run.result.summaryText(parsed.config);
+    if (refSummary.empty()) {
+      refSummary = summary;
+      refFlowDigest = run.result.flowDigest;
+      refQueueDigest = run.result.queueDigest;
+      EXPECT_GT(run.result.finished, 0u);
+      EXPECT_GT(run.result.queueSamples, 0u);
+    } else {
+      EXPECT_EQ(summary, refSummary)
+          << "summary diverged at shards=" << shards;
+      EXPECT_EQ(run.result.flowDigest, refFlowDigest);
+      EXPECT_EQ(run.result.queueDigest, refQueueDigest);
+    }
+  }
 }
 
 }  // namespace
