@@ -36,6 +36,7 @@
 #include "src/host/tcp.hpp"
 #include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
+#include "src/monitor/sketch.hpp"
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
 #include "src/sim/event_queue.hpp"
@@ -484,6 +485,70 @@ Metric benchOracleCheck(const std::string& name, bool armed) {
 }
 
 // ------------------------------------------------------------------------
+// 6d. In-switch sketch monitoring (DESIGN.md §14). sketch_update is the
+// resident count-min hook's per-packet cost: one op = one hook-eligible
+// UDP packet crossing a switch that patches and runs the d-row
+// LOAD/ADD/CSTORE update (compare against chain_udp_pps for the
+// no-hook baseline). sketch_read_rtt is the host-side reader: one op =
+// one CEXEC-pinned read probe round trip pushing [epoch, row0..rowd-1]
+// out of the grant. Both ride the --check gate.
+// ------------------------------------------------------------------------
+
+Metric benchSketchUpdate() {
+  return measure("sketch_update", 60'000, [](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 1, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    const monitor::CountMinSketch sketch({.taskId = 8});
+    auto& sw = tb.sw(0);
+    const auto grant = sw.sramAllocator().allocate(
+        8, sketch.words(), core::StatNamespace::Sram);
+    if (!grant) std::abort();
+    sw.installHook(sketch.updateHook(grant->baseAddress()));
+    std::uint64_t delivered = 0;
+    tb.host(1).bindUdp(7000, [&](const host::UdpDatagram&) { ++delivered; });
+    const std::vector<std::uint8_t> payload(1000, 0x42);
+    constexpr std::uint64_t kBatch = 2'000;
+    for (std::uint64_t done = 0; done < ops;) {
+      const std::uint64_t n = std::min(kBatch, ops - done);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tb.host(0).sendUdp(tb.host(1).mac(), tb.host(1).ip(), 7000, 7000,
+                           payload);
+      }
+      tb.sim().run();
+      done += n;
+    }
+    if (delivered != ops) std::abort();
+    if (sw.hookExecutions() < ops) std::abort();
+  });
+}
+
+Metric benchSketchReadRtt() {
+  return measure("sketch_read_rtt", 30'000, [](std::uint64_t ops) {
+    host::Testbed tb;
+    buildChain(tb, 1, host::LinkParams{10'000'000'000ULL, sim::Time::us(1)});
+    const monitor::CountMinSketch sketch({.taskId = 8});
+    auto& sw = tb.sw(0);
+    const auto grant = sw.sramAllocator().allocate(
+        8, sketch.words(), core::StatNamespace::Sram);
+    if (!grant) std::abort();
+    const auto program = sketch.readProbeProgram(
+        grant->baseAddress(), /*switchId=*/1, /*flowHash=*/0x5bd1e995);
+    std::uint64_t echoed = 0;
+    tb.host(0).onTppResult([&](const core::ExecutedTpp&) { ++echoed; });
+    constexpr std::uint64_t kBatch = 1'000;
+    for (std::uint64_t done = 0; done < ops;) {
+      const std::uint64_t n = std::min(kBatch, ops - done);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tb.host(0).sendProbe(tb.host(1).mac(), tb.host(1).ip(), program);
+      }
+      tb.sim().run();
+      done += n;
+    }
+    if (echoed != ops) std::abort();
+  });
+}
+
+// ------------------------------------------------------------------------
 // 6c. TCP transport hot paths (DESIGN.md §12). Three shapes: the
 // handshake round trip (connection setup/teardown cost), bulk goodput
 // over the same 3-switch chain as chain_udp_pps (per-byte streaming
@@ -829,6 +894,8 @@ int main(int argc, char** argv) {
   metrics.push_back(benchChainTppProbes());
   metrics.push_back(benchOracleCheck("oracle_check_off", false));
   metrics.push_back(benchOracleCheck("oracle_check_on", true));
+  metrics.push_back(benchSketchUpdate());
+  metrics.push_back(benchSketchReadRtt());
   metrics.push_back(benchTcpHandshake());
   metrics.push_back(benchTcpGoodputChain());
   metrics.push_back(benchTcpRtoRecovery());
@@ -873,6 +940,19 @@ int main(int argc, char** argv) {
                  "chain_tpp_probe_rtt %.1f ns/op — disarmed race oracle is "
                  "not free\n",
                  oracleOff->nsPerOp, probe->nsPerOp);
+    return 1;
+  }
+
+  // The steady-state probe round trip is allocation-free end to end: the
+  // prober clones a prebuilt frame from the packet pool, and the echo path
+  // parses into reused host scratch. Gate it absolutely — allocation
+  // counts are machine-independent, and a fresh vector anywhere on the
+  // serialize/parse/echo path shows up as allocs/op >= 1 immediately.
+  if (probe != nullptr && probe->allocsPerOp > 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: chain_tpp_probe_rtt at %.3f allocs/op — the probe "
+                 "echo path must not allocate in steady state\n",
+                 probe->allocsPerOp);
     return 1;
   }
 

@@ -1,0 +1,7 @@
+# Interference fixture, the rogue tenant: plain-STOREs a word the sketch
+# tasks maintain with CSTORE read-modify-writes. Verifies clean in
+# isolation, but deployed next to sketch_rmw_a.tpp the unconditional
+# write clobbers increments mid-flight (lost-update), so
+# `tppverify --interference` must reject the combination.
+.task 13
+STORE [Sram:Word0], 0

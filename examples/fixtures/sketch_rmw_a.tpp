@@ -1,0 +1,18 @@
+# Interference fixture, tenant A of a shared sketch region: the same
+# LOAD / ADD / CSTORE increment the resident count-min hook emits
+# (DESIGN.md §14), aimed at the scratch words sketch_rmw_b.tpp (a
+# different task) also increments. Both sides commit through CSTORE, so
+# `tppverify --interference a b` classifies the overlap shared-rmw and
+# admits the deployment — concurrent counter updates coordinate through
+# the compare-and-swap, nobody's increment is silently lost.
+.task 11
+.init 0 0
+.init 1 1
+LOAD [Sram:Word0], [Packet:0]
+ADD [Sram:Word0], [Packet:1]
+CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+.init 2 0
+.init 3 1
+LOAD [Sram:Word1], [Packet:2]
+ADD [Sram:Word1], [Packet:3]
+CSTORE [Sram:Word1], [Packet:2], [Packet:3]

@@ -1,0 +1,17 @@
+# Interference fixture, tenant B of a shared sketch region: a second
+# task running the same CSTORE read-modify-write increment over the
+# counter words sketch_rmw_a.tpp touches. Paired with A the analyzer
+# reports shared-rmw (coordinated, admitted); paired instead with
+# sketch_plain_write.tpp the plain STORE destroys the compare-and-swap
+# invariant and the deployment is rejected as a lost update.
+.task 12
+.init 0 0
+.init 1 1
+LOAD [Sram:Word0], [Packet:0]
+ADD [Sram:Word0], [Packet:1]
+CSTORE [Sram:Word0], [Packet:0], [Packet:1]
+.init 2 0
+.init 3 1
+LOAD [Sram:Word1], [Packet:2]
+ADD [Sram:Word1], [Packet:3]
+CSTORE [Sram:Word1], [Packet:2], [Packet:3]

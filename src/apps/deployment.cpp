@@ -7,6 +7,10 @@
 #include "src/apps/ndb.hpp"
 #include "src/apps/rcpstar.hpp"
 #include "src/apps/task_ids.hpp"
+#include "src/core/hook.hpp"
+#include "src/monitor/dapper.hpp"
+#include "src/monitor/sketch.hpp"
+#include "src/monitor/spin.hpp"
 
 namespace tpp::apps {
 
@@ -20,8 +24,10 @@ core::InterferenceOptions standardLockOptions() {
   return opts;
 }
 
-Deployment shippedDeployment(std::uint16_t tokenAddress,
-                             std::size_t maxHops) {
+Deployment shippedDeployment(std::uint16_t tokenAddress, std::size_t maxHops,
+                             std::uint16_t sketchBase,
+                             std::uint16_t dapperBase,
+                             std::uint16_t spinBase) {
   // The CEXEC-pinned programs are parameterized by a target switch id; the
   // analyzer only needs *a* representative instance, because a pin on a
   // different id yields the same effects with a different guard value —
@@ -66,6 +72,56 @@ Deployment shippedDeployment(std::uint16_t tokenAddress,
 
   d.tasks.push_back(core::summarize(makeTraceProgram(maxHops, kTaskMesh),
                                     "mesh", maxHops));
+
+  // Monitoring subsystem (DESIGN.md §14). Resident hooks are summarized as
+  // materialized instances at the first and last hashed column — all
+  // columns of one hook have identical effect kinds over its own grant, so
+  // the pair bounds analysis cost without hiding conflicts.
+  constexpr std::uint64_t kAnyFlow = 0x1234;
+  {
+    monitor::CountMinSketch sketch;
+    core::EffectSummary s;
+    s.name = "sketch";
+    const auto hook = sketch.updateHook(sketchBase);
+    for (const std::uint32_t col : {0u, sketch.config().width - 1}) {
+      core::summarizeProgram(core::materializeHook(hook, col), s, maxHops);
+    }
+    core::summarizeProgram(
+        sketch.readProbeProgram(sketchBase, kAnySwitch, kAnyFlow), s,
+        maxHops);
+    core::summarizeProgram(sketch.epochBumpProgram(sketchBase, kAnySwitch, 0),
+                           s, maxHops);
+    core::summarizeProgram(
+        sketch.counterResetProgram(
+            sketch.counterAddress(sketchBase, 0, kAnyFlow), kAnySwitch, 1),
+        s, maxHops);
+    d.tasks.push_back(std::move(s));
+  }
+  {
+    monitor::FlowDiagnoser dapper;
+    core::EffectSummary s;
+    s.name = "dapper";
+    const auto init = dapper.initHook(dapperBase);
+    const auto update = dapper.updateHook(dapperBase);
+    for (const std::uint32_t col : {0u, dapper.config().slots - 1}) {
+      core::summarizeProgram(core::materializeHook(init, col, kAnyFlow), s,
+                             maxHops);
+      core::summarizeProgram(core::materializeHook(update, col, kAnyFlow), s,
+                             maxHops);
+    }
+    d.tasks.push_back(std::move(s));
+  }
+  {
+    monitor::SpinRttMonitor spin;
+    core::EffectSummary s;
+    s.name = "spin-rtt";
+    const auto hook = spin.hook(spinBase);
+    for (const std::uint32_t col : {0u, spin.config().slots - 1}) {
+      core::summarizeProgram(core::materializeHook(hook, col, kAnyFlow), s,
+                             maxHops);
+    }
+    d.tasks.push_back(std::move(s));
+  }
 
   return d;
 }

@@ -25,11 +25,20 @@ struct Deployment {
 // the per-port RCP lock word serializes writers of the rate register.
 core::InterferenceOptions standardLockOptions();
 
-// Summaries of representative program instances of all six apps
-// (microburst, rcpstar incl. lock protocol, ndb, limiter, latency, mesh).
-// `tokenAddress` is the limiter's granted SRAM counter word.
+// Summaries of representative program instances of all nine apps
+// (microburst, rcpstar incl. lock protocol, ndb, limiter, latency, mesh,
+// and the monitoring subsystem's sketch/dapper/spin resident hooks).
+// `tokenAddress` is the limiter's granted SRAM counter word; the monitor
+// bases are the canonical grant layout the scenario runner reproduces.
+// Hook tasks are summarized at representative hashed columns (first and
+// last): within one grant every column instance has the same effect kinds,
+// and different tasks' grants are disjoint, so two columns bound the
+// analysis cost without losing conflicts.
 Deployment shippedDeployment(
     std::uint16_t tokenAddress = core::kSramBase,
-    std::size_t maxHops = 8);
+    std::size_t maxHops = 8,
+    std::uint16_t sketchBase = core::kSramBase + 0x100,
+    std::uint16_t dapperBase = core::kSramBase + 0x210,
+    std::uint16_t spinBase = core::kSramBase + 0x320);
 
 }  // namespace tpp::apps

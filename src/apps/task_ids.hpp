@@ -21,5 +21,10 @@ inline constexpr std::uint16_t kTaskLimiter = 4;     // aggregate limiter
 inline constexpr std::uint16_t kTaskLatency = 5;     // latency profiler
 inline constexpr std::uint16_t kTaskMesh = 6;        // mesh prober
 inline constexpr std::uint16_t kTaskTcpTpp = 7;      // TCP congestion probe
+// In-switch monitoring subsystem (DESIGN.md §14). The defaults embedded in
+// monitor::SketchConfig/DapperConfig/SpinConfig match these.
+inline constexpr std::uint16_t kTaskSketch = 8;      // count-min sketch
+inline constexpr std::uint16_t kTaskDapper = 9;      // TCP flow diagnoser
+inline constexpr std::uint16_t kTaskSpinRtt = 10;    // spin-bit RTT
 
 }  // namespace tpp::apps

@@ -1,6 +1,50 @@
 #include "src/asic/parser.hpp"
 
+#include "src/asic/tables.hpp"
+#include "src/net/byte_io.hpp"
+
 namespace tpp::asic {
+
+std::uint64_t flowHashOf(const ParsedPacket& parsed) {
+  FlowHasher h;
+  if (parsed.ip) {
+    h.mix(parsed.ip->src.value());
+    h.mix(parsed.ip->dst.value());
+    h.mix(parsed.ip->protocol);
+  }
+  if (parsed.udp) {
+    h.mix(parsed.udp->srcPort);
+    h.mix(parsed.udp->dstPort);
+  }
+  return h.value();
+}
+
+namespace {
+
+// Recognizes the TCP-over-UDP segment format of src/host/tcp.hpp: a
+// 20-byte header whose declared payload length exactly fills the datagram,
+// reserved bits clear, and only SYN/ACK/FIN flag bits set. Checksums are
+// not verified in the pipeline — recognition feeds monitoring, not
+// forwarding.
+std::optional<ParsedPacket::TcpEncap> parseTcpEncap(
+    std::span<const std::uint8_t> payload) {
+  constexpr std::size_t kTcpHeaderBytes = 20;
+  constexpr std::uint8_t kKnownFlags = 0x07;  // SYN|ACK|FIN
+  if (payload.size() < kTcpHeaderBytes) return std::nullopt;
+  const auto len = net::getBe16(payload, 2);
+  if (!len || payload.size() != kTcpHeaderBytes + *len) return std::nullopt;
+  if ((payload[1] & ~1) != 0) return std::nullopt;
+  if ((payload[0] & ~kKnownFlags) != 0) return std::nullopt;
+  ParsedPacket::TcpEncap tcp;
+  tcp.flags = payload[0];
+  tcp.spin = payload[1] & 1;
+  tcp.payloadLen = *len;
+  tcp.seq = *net::getBe32(payload, 4);
+  tcp.wnd = *net::getBe32(payload, 12);
+  return tcp;
+}
+
+}  // namespace
 
 std::optional<ParsedPacket> parsePacket(net::Packet& packet) {
   ParsedPacket out;
@@ -28,6 +72,9 @@ std::optional<ParsedPacket> parsePacket(net::Packet& packet) {
         if (udpOffset <= bytes.size()) {
           out.udp = net::UdpHeader::parse(bytes.subspan(udpOffset));
           out.l4PayloadOffset = udpOffset + net::kUdpHeaderSize;
+          if (out.udp && out.l4PayloadOffset <= bytes.size()) {
+            out.tcp = parseTcpEncap(bytes.subspan(out.l4PayloadOffset));
+          }
         }
       }
     }

@@ -25,11 +25,31 @@ struct ParsedPacket {
   std::size_t ipOffset = 0;  // valid when ip is set
   std::optional<net::UdpHeader> udp;
   std::size_t l4PayloadOffset = 0;  // valid when udp is set
+
+  // TCP-over-UDP segment recognition (src/host/tcp.hpp wire format): set
+  // when the UDP payload parses as a TcpSegment header whose declared
+  // payload length exactly fills the datagram. The switch does not verify
+  // the segment checksum — recognition feeds monitoring hooks, not
+  // forwarding, and a corrupted segment at worst perturbs a sketch counter.
+  struct TcpEncap {
+    std::uint32_t seq = 0;
+    std::uint32_t wnd = 0;
+    std::uint8_t spin = 0;   // passive-RTT spin bit (header byte 1, bit 0)
+    std::uint8_t flags = 0;  // SYN/ACK/FIN bits
+    std::uint16_t payloadLen = 0;
+  };
+  std::optional<TcpEncap> tcp;
 };
 
 // Returns nullopt only for frames too short to carry an Ethernet header or
 // whose TPP shim is malformed (lengths overrun the buffer); a parse failure
 // means the pipeline drops the packet.
 std::optional<ParsedPacket> parsePacket(net::Packet& packet);
+
+// The pipeline's ECMP flow hash for a parsed packet: 5-tuple for UDP,
+// fewer mixed fields otherwise (equals ecmpFlowHash for UDP/IPv4). Shared
+// by the forwarding lookup, resident hooks, and host-side sketch readers
+// so all three agree on where a flow lands.
+std::uint64_t flowHashOf(const ParsedPacket& parsed);
 
 }  // namespace tpp::asic

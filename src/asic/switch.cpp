@@ -123,6 +123,11 @@ class Switch::UnifiedAddressSpace final : public tcpu::AddressSpace {
             return ReadResult::ok(meta_.matchedEntryId);
           case addr::MatchedTable: return ReadResult::ok(meta_.matchedTable);
           case addr::AltRoutes: return ReadResult::ok(meta_.altRouteCount);
+          case addr::FlowHashLo: return ReadResult::ok(meta_.flowHashLo);
+          case addr::PacketBytes: return ReadResult::ok(meta_.packetBytes);
+          case addr::TcpSeq: return ReadResult::ok(meta_.tcpSeq);
+          case addr::TcpWnd: return ReadResult::ok(meta_.tcpWnd);
+          case addr::TcpSpin: return ReadResult::ok(meta_.tcpSpin);
           default: return ReadResult::fail(Fault::UnmappedAddress);
         }
 
@@ -262,28 +267,8 @@ void Switch::receive(net::PacketPtr packet, std::size_t port) {
   }
 }
 
-namespace {
-
-// ECMP flow hash over the 5-tuple: flows pin to one path, different flows
-// spread. Built on the public FlowHasher (tables.hpp) so predictors hash
-// identically; non-UDP packets just mix fewer fields.
-std::uint64_t flowHashOf(const ParsedPacket& parsed) {
-  FlowHasher h;
-  if (parsed.ip) {
-    h.mix(parsed.ip->src.value());
-    h.mix(parsed.ip->dst.value());
-    h.mix(parsed.ip->protocol);
-  }
-  if (parsed.udp) {
-    h.mix(parsed.udp->srcPort);
-    h.mix(parsed.udp->dstPort);
-  }
-  return h.value();
-}
-
-}  // namespace
-
-std::optional<MatchResult> Switch::lookup(const ParsedPacket& parsed) {
+std::optional<MatchResult> Switch::lookup(const ParsedPacket& parsed,
+                                          std::uint64_t flowHash) {
   Tcam::PacketFields fields;
   fields.dstMac = parsed.eth.dst;
   fields.etherType = parsed.effectiveEtherType;
@@ -297,7 +282,7 @@ std::optional<MatchResult> Switch::lookup(const ParsedPacket& parsed) {
     return r;
   }
   if (parsed.ip) {
-    if (auto r = l3_.match(parsed.ip->dst, flowHashOf(parsed))) {
+    if (auto r = l3_.match(parsed.ip->dst, flowHash)) {
       r->table = 2;
       return r;
     }
@@ -320,7 +305,8 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
   auto& meta = packet->meta();
   meta.inputPort = static_cast<std::uint32_t>(inPort);
 
-  const auto result = lookup(*parsed);
+  const std::uint64_t flowHash = flowHashOf(*parsed);
+  const auto result = lookup(*parsed, flowHash);
   if (!result) {
     ++stats_.forwardingMisses;
     drop(*packet, inPort);
@@ -351,6 +337,13 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
   meta.matchedEntryId = result->entryId;
   meta.matchedTable = result->table;
   meta.altRouteCount = result->altRoutes;
+  meta.flowHashLo = static_cast<std::uint32_t>(flowHash);
+  meta.packetBytes = static_cast<std::uint32_t>(packet->size());
+  if (parsed->tcp) {
+    meta.tcpSeq = parsed->tcp->seq;
+    meta.tcpWnd = parsed->tcp->wnd;
+    meta.tcpSpin = parsed->tcp->spin;
+  }
 
   // TCPU: execute the TPP after lookup, before enqueue (Fig 3).
   if (parsed->tppOffset && config_.tcpuEnabled) {
@@ -370,6 +363,14 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
     }
   }
 
+  // Resident monitoring hooks (DESIGN.md §14): run for eligible forwarded
+  // traffic — IPv4 and not a TPP carrier (a TPP already had its say above;
+  // counting carriers would skew byte sketches toward instrument traffic).
+  if (!hooks_.empty() && parsed->ip && !parsed->tppOffset) {
+    const std::uint32_t stride = std::max<std::uint32_t>(1, config_.hookStride);
+    if (hookTick_++ % stride == 0) runHooks(*parsed, meta, flowHash);
+  }
+
   const std::size_t out = result->outPort;
   ports_[out].offeredRate.add(sim_.now(), packet->size());
 
@@ -381,6 +382,76 @@ void Switch::forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort) {
 
   if (interceptor_ != nullptr) interceptor_->onEnqueue(*packet, out);
   enqueue(std::move(packet), out, meta.queueId);
+}
+
+void Switch::installHook(core::HookProgram hook) {
+  for (const auto& patch : hook.addrPatches) {
+    for (const auto& target : patch.targets) {
+      assert(target.instrIndex < hook.program.instructions.size());
+      (void)target;
+    }
+  }
+  for (const auto& patch : hook.pmemPatches) {
+    assert(patch.wordIndex < hook.program.initialPmem.size());
+    (void)patch;
+  }
+  InstalledHook installed;
+  installed.instrs = hook.program.instructions;
+  installed.pmem.reserve(hook.program.pmemWords);
+  installed.hook = std::move(hook);
+  hooks_.push_back(std::move(installed));
+}
+
+void Switch::runHooks(const ParsedPacket& parsed, net::PacketMeta& meta,
+                      std::uint64_t flowHash) {
+  for (auto& h : hooks_) {
+    if (h.hook.tcpOnly && !parsed.tcp) continue;
+    const std::uint32_t spin = parsed.tcp ? parsed.tcp->spin : 0;
+    const core::Program& tmpl = h.hook.program;
+
+    // Specialize the decoded working copy for this packet's flow.
+    for (const auto& patch : h.hook.addrPatches) {
+      const std::uint32_t col =
+          core::hookColumn(flowHash, patch.salt, patch.slots);
+      const std::uint16_t base = static_cast<std::uint16_t>(
+          patch.baseAddress + col * patch.slotStride);
+      for (const auto& target : patch.targets) {
+        h.instrs[target.instrIndex].addr =
+            static_cast<std::uint16_t>(base + target.wordOffset);
+      }
+    }
+    h.pmem.assign(tmpl.pmemWords, 0u);
+    std::copy(tmpl.initialPmem.begin(), tmpl.initialPmem.end(),
+              h.pmem.begin());
+    for (const auto& patch : h.hook.pmemPatches) {
+      std::uint32_t value = 0;
+      switch (patch.source) {
+        case core::HookProgram::PmemSource::FlowSig:
+          value = core::hookFlowSig(flowHash, patch.salt);
+          break;
+        case core::HookProgram::PmemSource::SpinBit:
+          value = spin & 1;
+          break;
+        case core::HookProgram::PmemSource::SpinInverse:
+          value = 1u - (spin & 1);
+          break;
+      }
+      h.pmem[patch.wordIndex] = value;
+    }
+
+    UnifiedAddressSpace mem(*this, meta);
+    if (oracle_ != nullptr) oracle_->beginExecution(tmpl.taskId);
+    const auto report = tcpu_.executeResident(h.instrs, h.pmem, tmpl.taskId,
+                                              mem, tmpl.initialSp);
+    ++hookExecutions_;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), sim::TraceKind::TcpuExecute, actor_,
+                      tmpl.taskId, /*hopNumber=*/0,
+                      static_cast<std::uint32_t>(report.executed),
+                      static_cast<std::uint32_t>(report.fault),
+                      static_cast<std::uint32_t>(report.cycles));
+    }
+  }
 }
 
 void Switch::enqueue(net::PacketPtr packet, std::size_t outPort,

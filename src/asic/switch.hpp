@@ -22,6 +22,7 @@
 #include "src/asic/tables.hpp"
 #include "src/core/agent.hpp"
 #include "src/core/edge_filter.hpp"
+#include "src/core/hook.hpp"
 #include "src/net/link.hpp"
 #include "src/net/node.hpp"
 #include "src/sim/simulator.hpp"
@@ -51,6 +52,10 @@ struct SwitchConfig {
   // packets enqueued while their egress queue holds at least this many
   // bytes are marked Congestion Experienced. 0 disables marking.
   std::uint64_t ecnThresholdBytes = 0;
+  // Resident-hook sampling stride (DESIGN.md §14): hooks run for every Nth
+  // eligible packet (IPv4, not a TPP carrier). 1 = every packet. Host-side
+  // sketch readers multiply estimates back up by the stride.
+  std::uint32_t hookStride = 1;
 };
 
 // Observes packets at the moment they are enqueued to an egress port; the
@@ -88,6 +93,19 @@ class Switch : public net::Node {
   void setEgressInterceptor(EgressInterceptor* interceptor) {
     interceptor_ = interceptor;
   }
+
+  // ------------------------------------------------------ resident hooks
+  // Installs a control-plane-supplied hook program (DESIGN.md §14),
+  // executed per eligible forwarded packet (IPv4, not a TPP carrier; at
+  // most every config.hookStride-th such packet; tcpOnly hooks also
+  // require a recognized TCP segment). Hooks run under the same grant
+  // checks, race oracle, and tracer as carried TPPs, attributed to the
+  // hook program's task id.
+  void installHook(core::HookProgram hook);
+  void clearHooks() { hooks_.clear(); }
+  std::size_t hookCount() const { return hooks_.size(); }
+  // Hook program executions (sum over installed hooks).
+  std::uint64_t hookExecutions() const { return hookExecutions_; }
 
   // ------------------------------------------------------- fault hooks
   // TPP-unaware switch: with the TCPU disabled, TPP packets forward with
@@ -172,9 +190,21 @@ class Switch : public net::Node {
     core::SramAllocator allocator;
   };
 
+  // One installed hook plus its per-packet working state: a decoded
+  // instruction copy patched in place (never wire bytes — the TCPU decode
+  // cache is not involved) and a reusable packet-memory scratch image.
+  struct InstalledHook {
+    core::HookProgram hook;
+    std::vector<core::Instruction> instrs;
+    std::vector<std::uint32_t> pmem;
+  };
+
   // Pipeline stages.
   void forwardAndEnqueue(net::PacketPtr packet, std::size_t inPort);
-  std::optional<MatchResult> lookup(const ParsedPacket& parsed);
+  std::optional<MatchResult> lookup(const ParsedPacket& parsed,
+                                    std::uint64_t flowHash);
+  void runHooks(const ParsedPacket& parsed, net::PacketMeta& meta,
+                std::uint64_t flowHash);
   void enqueue(net::PacketPtr packet, std::size_t outPort,
                std::size_t queueId);
   void startTransmit(std::size_t port);
@@ -198,6 +228,9 @@ class Switch : public net::Node {
   std::uint32_t bootEpoch_ = 1;
   SwitchStats stats_;
   EgressInterceptor* interceptor_ = nullptr;
+  std::vector<InstalledHook> hooks_;
+  std::uint64_t hookTick_ = 0;  // eligible packets seen (stride counter)
+  std::uint64_t hookExecutions_ = 0;
 };
 
 }  // namespace tpp::asic

@@ -6,9 +6,20 @@ namespace tpp::core {
 
 std::optional<SramGrant> SramAllocator::allocate(std::uint16_t taskId,
                                                  std::uint16_t words,
-                                                 StatNamespace region) {
-  if (words == 0) return std::nullopt;
+                                                 StatNamespace region,
+                                                 std::string* whyNot) {
+  if (words == 0) {
+    if (whyNot != nullptr) {
+      *whyNot = "task " + std::to_string(taskId) +
+                ": zero-word scratch request";
+    }
+    return std::nullopt;
+  }
   if (region != StatNamespace::Sram && region != StatNamespace::PortScratch) {
+    if (whyNot != nullptr) {
+      *whyNot = "task " + std::to_string(taskId) +
+                ": scratch grants cover only Sram and PortScratch";
+    }
     return std::nullopt;
   }
   const std::size_t regionWords =
@@ -24,11 +35,32 @@ std::optional<SramGrant> SramAllocator::allocate(std::uint16_t taskId,
               return a->baseWord < b->baseWord;
             });
   std::uint32_t cursor = 0;
+  bool fits = false;
+  std::uint32_t largestGap = 0;
   for (const auto* g : inRegion) {
-    if (g->baseWord >= cursor + words) break;  // gap fits
+    if (g->baseWord > cursor) {
+      largestGap = std::max(largestGap, g->baseWord - cursor);
+    }
+    if (g->baseWord >= cursor + words) {  // gap fits
+      fits = true;
+      break;
+    }
     cursor = std::max<std::uint32_t>(cursor, g->baseWord + g->words);
   }
-  if (cursor + words > regionWords) return std::nullopt;
+  if (!fits && cursor + words > regionWords) {
+    if (whyNot != nullptr) {
+      largestGap = std::max<std::uint32_t>(
+          largestGap, cursor < regionWords ? regionWords - cursor : 0);
+      const char* name =
+          region == StatNamespace::Sram ? "Sram" : "PortScratch";
+      *whyNot = "task " + std::to_string(taskId) + ": requested " +
+                std::to_string(words) + " " + name +
+                " words but the largest free extent is " +
+                std::to_string(largestGap) + " of " +
+                std::to_string(regionWords);
+    }
+    return std::nullopt;
+  }
 
   SramGrant grant{taskId, region, static_cast<std::uint16_t>(cursor), words};
   grants_.push_back(grant);

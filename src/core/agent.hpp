@@ -38,9 +38,13 @@ struct SramGrant {
 
 class SramAllocator {
  public:
-  // First-fit allocation of `words` scratch words for `taskId`.
+  // First-fit allocation of `words` scratch words for `taskId`. On
+  // rejection, `whyNot` (when non-null) receives a diagnostic naming the
+  // requesting task and the requested vs. available words — surfaced to
+  // operators sizing sketch deployments against a switch's SRAM budget.
   std::optional<SramGrant> allocate(std::uint16_t taskId, std::uint16_t words,
-                                    StatNamespace region = StatNamespace::Sram);
+                                    StatNamespace region = StatNamespace::Sram,
+                                    std::string* whyNot = nullptr);
   // Frees every grant held by `taskId`.
   void release(std::uint16_t taskId);
   // Drops every grant (switch reboot): the allocator reverts to open mode

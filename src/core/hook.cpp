@@ -1,0 +1,74 @@
+#include "src/core/hook.hpp"
+
+#include <cassert>
+
+namespace tpp::core {
+
+std::uint64_t hookMix(std::uint64_t flowHash, std::uint64_t salt) {
+  // FNV-1a over the 16 bytes of (flowHash, salt), little-endian.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  fold(flowHash);
+  fold(salt);
+  // Raw FNV's low bits are "local": (h ^ c) * p mod 2^k depends only on the
+  // low k bits of the state, and the row salts differ only in one low byte —
+  // without further mixing, two flows whose low-bit states coincide would
+  // land in the same column of EVERY sketch row, defeating the min-over-rows
+  // independence the (eps, delta) bound rests on. The xor-shift finalizer
+  // (Murmur3 fmix64) folds high bits back down so `mix % slots` behaves as
+  // an independent draw per salt.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint32_t hookColumn(std::uint64_t flowHash, std::uint64_t salt,
+                         std::uint32_t slots) {
+  if (slots == 0) return 0;
+  return static_cast<std::uint32_t>(hookMix(flowHash, salt) % slots);
+}
+
+std::uint32_t hookFlowSig(std::uint64_t flowHash, std::uint64_t salt) {
+  return static_cast<std::uint32_t>(hookMix(flowHash, salt)) | 1u;
+}
+
+Program materializeHook(const HookProgram& hook, std::uint32_t column,
+                        std::uint64_t flowHash, std::uint32_t spin) {
+  Program out = hook.program;
+  for (const auto& patch : hook.addrPatches) {
+    const std::uint32_t col = patch.slots == 0 ? 0 : column % patch.slots;
+    const std::uint16_t base = static_cast<std::uint16_t>(
+        patch.baseAddress + col * patch.slotStride);
+    for (const auto& target : patch.targets) {
+      assert(target.instrIndex < out.instructions.size());
+      out.instructions[target.instrIndex].addr =
+          static_cast<std::uint16_t>(base + target.wordOffset);
+    }
+  }
+  for (const auto& patch : hook.pmemPatches) {
+    assert(patch.wordIndex < out.initialPmem.size());
+    std::uint32_t value = 0;
+    switch (patch.source) {
+      case HookProgram::PmemSource::FlowSig:
+        value = hookFlowSig(flowHash, patch.salt);
+        break;
+      case HookProgram::PmemSource::SpinBit:
+        value = spin & 1;
+        break;
+      case HookProgram::PmemSource::SpinInverse:
+        value = 1u - (spin & 1);
+        break;
+    }
+    out.initialPmem[patch.wordIndex] = value;
+  }
+  return out;
+}
+
+}  // namespace tpp::core

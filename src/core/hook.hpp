@@ -1,0 +1,90 @@
+// Resident hook programs (DESIGN.md §14): TPP programs installed on a
+// switch by the control plane and executed per eligible forwarded packet,
+// instead of arriving inside the packet. The wire ISA and the grant/
+// interference machinery are unchanged — a hook is an ordinary Program
+// template plus patch directives telling the switch how to specialize the
+// instruction addresses and packet-memory words for each packet's flow
+// hash before execution.
+//
+// Patching happens on a decoded working copy of the template, never on
+// wire bytes, so the TCPU's decode cache is not involved (see
+// Tcpu::executeResident). Address patches implement hashed indexing into a
+// granted scratch region (count-min rows, per-flow slots); pmem patches
+// inject per-packet values the ISA cannot compute itself (the flow
+// signature, the expected spin bit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/program.hpp"
+
+namespace tpp::core {
+
+struct HookProgram {
+  std::string name;
+  // Template program: taskId, instructions and initialPmem set. Patched
+  // fields hold placeholder values so the template itself is a valid
+  // program (materializeHook of column 0 equals the template when there is
+  // nothing to patch).
+  Program program;
+  // When true the switch runs the hook only for packets recognized as
+  // TCP-over-UDP segments (ParsedPacket::tcp set).
+  bool tcpOnly = false;
+
+  // One instruction's addr field to rewrite.
+  struct AddrTarget {
+    std::uint16_t instrIndex = 0;  // index into program.instructions
+    std::uint16_t wordOffset = 0;  // added to the slot base address
+  };
+  // Rewrites a group of instructions to address one hashed slot:
+  //   addr = baseAddress + hookColumn(flowHash, salt, slots) * slotStride
+  //        + target.wordOffset
+  // A count-min row uses slotStride=1 (one counter per column); a per-flow
+  // record uses slotStride = record words, with one target per field.
+  struct AddrPatch {
+    std::uint16_t baseAddress = 0;
+    std::uint32_t slots = 1;
+    std::uint16_t slotStride = 1;
+    std::uint64_t salt = 0;
+    std::vector<AddrTarget> targets;
+  };
+  std::vector<AddrPatch> addrPatches;
+
+  // Per-packet packet-memory values.
+  enum class PmemSource : std::uint8_t {
+    FlowSig,      // hookFlowSig(flowHash, salt): nonzero flow signature
+    SpinBit,      // packet's spin bit (0/1)
+    SpinInverse,  // 1 - spin bit
+  };
+  struct PmemPatch {
+    std::uint8_t wordIndex = 0;  // index into the program's packet memory
+    PmemSource source = PmemSource::FlowSig;
+    std::uint64_t salt = 0;
+  };
+  std::vector<PmemPatch> pmemPatches;
+};
+
+// Salted 64-bit mix of a flow hash — the "pairwise independent hash
+// family" of the count-min analysis, one member per salt.
+std::uint64_t hookMix(std::uint64_t flowHash, std::uint64_t salt);
+
+// Column index in [0, slots) for this flow. slots == 0 yields 0.
+std::uint32_t hookColumn(std::uint64_t flowHash, std::uint64_t salt,
+                         std::uint32_t slots);
+
+// Nonzero 32-bit flow signature (low bit forced on), distinguishing "slot
+// empty" (0) from any real flow in per-flow record claiming.
+std::uint32_t hookFlowSig(std::uint64_t flowHash, std::uint64_t salt);
+
+// Applies the hook's patches for a concrete (column, flowHash, spin) and
+// returns the resulting standalone Program — what the switch would execute
+// for a packet mapping to `column` under every addr patch. Used by static
+// verification (summarize each column's instance) and tests; the switch
+// itself patches decoded working copies in place. Aborts if a patch
+// references an instruction or pmem word outside the template.
+Program materializeHook(const HookProgram& hook, std::uint32_t column,
+                        std::uint64_t flowHash = 0, std::uint32_t spin = 0);
+
+}  // namespace tpp::core

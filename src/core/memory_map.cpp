@@ -73,6 +73,17 @@ const MemoryMap& MemoryMap::standard() {
        "which table matched: 1=L2 2=L3 3=TCAM 0=miss");
     ro("PacketMetadata:AltRoutes", addr::AltRoutes,
        "number of alternate next-hops for this packet");
+    ro("PacketMetadata:FlowHash", addr::FlowHashLo,
+       "ECMP 5-tuple flow hash of this packet, low 32 bits");
+    ro("PacketMetadata:PacketBytes", addr::PacketBytes,
+       "wire size of this packet in bytes");
+    ro("PacketMetadata:TcpSeq", addr::TcpSeq,
+       "TCP sequence number (TCP-over-UDP segments; 0 otherwise)");
+    ro("PacketMetadata:TcpWnd", addr::TcpWnd,
+       "TCP advertised receive window (TCP-over-UDP segments; 0 otherwise)");
+    ro("PacketMetadata:TcpSpin", addr::TcpSpin,
+       "passive-RTT spin bit (bit 0); 0xffffffff when the packet is not a "
+       "recognized TCP segment");
     // Per-queue.
     ro("Queue:QueueSize", addr::QueueBytes,
        "bytes in the packet's egress queue, sampled at TCPU time");

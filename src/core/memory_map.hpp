@@ -109,6 +109,17 @@ inline constexpr std::uint16_t QueueId = 0xa003;
 inline constexpr std::uint16_t MatchedEntryId = 0xa004;
 inline constexpr std::uint16_t MatchedTable = 0xa005;
 inline constexpr std::uint16_t AltRoutes = 0xa006;
+// Monitoring extension (DESIGN.md §14): the pipeline surfaces the ECMP
+// 5-tuple flow hash (low 32 bits), the packet's wire size, and — for
+// TCP-over-UDP segments the parser recognizes — the TCP sequence number,
+// advertised receive window, and the passive-RTT spin bit. Resident hook
+// programs (count-min sketches, the Dapper-style diagnoser) read these to
+// fold per-packet state into scratch SRAM.
+inline constexpr std::uint16_t FlowHashLo = 0xa007;
+inline constexpr std::uint16_t PacketBytes = 0xa008;
+inline constexpr std::uint16_t TcpSeq = 0xa009;
+inline constexpr std::uint16_t TcpWnd = 0xa00a;
+inline constexpr std::uint16_t TcpSpin = 0xa00b;  // bit 0; 0xffffffff if not TCP
 // Per-queue (egress port, selected queue).
 inline constexpr std::uint16_t QueueBytes = 0xb000;
 inline constexpr std::uint16_t QueuePackets = 0xb001;

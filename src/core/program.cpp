@@ -107,11 +107,9 @@ Program ProgramBuilder::buildChecked() const {
   return *std::move(p);
 }
 
-namespace {
-
 // Serializes TPP header + instructions + pmem into `out` at `off`.
-void writeTppBody(std::span<std::uint8_t> out, std::size_t off,
-                  const Program& program, std::uint16_t innerEtherType) {
+void writeTpp(std::span<std::uint8_t> out, std::size_t off,
+              const Program& program, std::uint16_t innerEtherType) {
   TppHeader h;
   h.instrWords = static_cast<std::uint8_t>(program.instructions.size());
   h.pmemWords = program.pmemWords;
@@ -135,8 +133,6 @@ void writeTppBody(std::span<std::uint8_t> out, std::size_t off,
   }
 }
 
-}  // namespace
-
 net::PacketPtr buildTppFrame(const net::MacAddress& dst,
                              const net::MacAddress& src,
                              const Program& program,
@@ -147,8 +143,7 @@ net::PacketPtr buildTppFrame(const net::MacAddress& dst,
   auto packet = net::Packet::make(std::max(size, net::kMinFrameSize));
   net::EthernetHeader eth{dst, src, net::kEtherTypeTpp};
   eth.write(packet->span());
-  writeTppBody(packet->span(), net::kEthernetHeaderSize, program,
-               innerEtherType);
+  writeTpp(packet->span(), net::kEthernetHeaderSize, program, innerEtherType);
   std::copy(payload.begin(), payload.end(),
             packet->bytes().begin() +
                 static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize +
@@ -166,7 +161,7 @@ void insertTppShim(net::Packet& packet, const Program& program) {
                    static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize),
                body, 0);
   net::putBe16(packet.span(), 12, net::kEtherTypeTpp);
-  writeTppBody(packet.span(), net::kEthernetHeaderSize, program, innerType);
+  writeTpp(packet.span(), net::kEthernetHeaderSize, program, innerType);
 }
 
 bool stripTppShim(net::Packet& packet) {
@@ -185,26 +180,25 @@ bool stripTppShim(net::Packet& packet) {
   return true;
 }
 
-std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
-                                         std::size_t tppOffset) {
-  // TppView requires a mutable packet; we only read, so a const_cast-free
-  // path re-parses from the raw bytes.
-  const auto bytes = packet.span();
-  if (tppOffset + kTppHeaderSize > bytes.size()) return std::nullopt;
-  auto header = TppHeader::parse(bytes.subspan(tppOffset));
-  if (!header) return std::nullopt;
-  ExecutedTpp out;
+bool parseExecutedInto(std::span<const std::uint8_t> bytes, ExecutedTpp& out) {
+  out.instructions.clear();
+  out.pmem.clear();
+  if (kTppHeaderSize > bytes.size()) return false;
+  auto header = TppHeader::parse(bytes);
+  if (!header) return false;
   out.header = *header;
-  std::size_t pos = tppOffset + kTppHeaderSize;
+  std::size_t pos = kTppHeaderSize;
   if (pos + header->instrWords * kInstructionSize +
           header->pmemWords * kWordSize >
       bytes.size()) {
-    return std::nullopt;
+    return false;
   }
+  out.instructions.reserve(header->instrWords);
+  out.pmem.reserve(header->pmemWords);
   for (std::size_t i = 0; i < header->instrWords; ++i) {
     const auto word = *net::getBe32(bytes, pos);
     auto ins = Instruction::decode(word);
-    if (!ins) return std::nullopt;
+    if (!ins) return false;
     out.instructions.push_back(*ins);
     pos += kInstructionSize;
   }
@@ -212,6 +206,17 @@ std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
     out.pmem.push_back(*net::getBe32(bytes, pos));
     pos += kWordSize;
   }
+  return true;
+}
+
+std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
+                                         std::size_t tppOffset) {
+  // TppView requires a mutable packet; we only read, so a const_cast-free
+  // path re-parses from the raw bytes.
+  const auto bytes = packet.span();
+  if (tppOffset > bytes.size()) return std::nullopt;
+  ExecutedTpp out;
+  if (!parseExecutedInto(bytes.subspan(tppOffset), out)) return std::nullopt;
   return out;
 }
 

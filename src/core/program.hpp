@@ -96,6 +96,13 @@ net::PacketPtr buildTppFrame(const net::MacAddress& dst,
                              std::uint16_t innerEtherType = 0,
                              std::span<const std::uint8_t> payload = {});
 
+// Serializes TPP header + instructions + pmem into `out` at `offset`. The
+// caller owns the surrounding frame layout (callers that build probe frames
+// in place to avoid intermediate buffers). `out` must have at least
+// program.wireBytes() bytes past `offset`.
+void writeTpp(std::span<std::uint8_t> out, std::size_t offset,
+              const Program& program, std::uint16_t innerEtherType = 0);
+
 // Inserts `program` as a shim into an existing Ethernet frame (the trusted-
 // entity pattern of §2.3: stamp every packet of a host). The original
 // ethertype moves into the TPP header.
@@ -113,5 +120,11 @@ struct ExecutedTpp {
 };
 std::optional<ExecutedTpp> parseExecuted(const net::Packet& packet,
                                          std::size_t tppOffset = 14);
+
+// Allocation-free variant: parses the TPP at the front of `bytes` into
+// `out`, reusing out's vector capacity. Returns false (out unspecified) on
+// malformed input. The echo hot path parses into a scratch ExecutedTpp so
+// steady-state probe traffic never touches the heap.
+bool parseExecutedInto(std::span<const std::uint8_t> bytes, ExecutedTpp& out);
 
 }  // namespace tpp::core

@@ -60,20 +60,49 @@ sim::Time Host::sendUdp(net::MacAddress dstMac, net::Ipv4Address dstIp,
   return transmit(makeUdpFrame(dstMac, dstIp, srcPort, dstPort, payload));
 }
 
+net::PacketPtr Host::makeProbeFrame(net::MacAddress dstMac,
+                                    net::Ipv4Address dstIp,
+                                    const core::Program& program) {
+  // The probe encapsulates a minimal UDP datagram to the echo port so the
+  // destination host knows to send the executed program back. All three
+  // layers are serialized straight into one pooled packet — this is the
+  // probe hot path and must stay allocation-free in steady state.
+  const std::size_t tppBytes = program.wireBytes();
+  const std::size_t ipLen = net::kIpv4HeaderSize + net::kUdpHeaderSize;
+  // The encapsulated datagram is padded as a standalone minimum-size frame
+  // would be (sans Ethernet header) — the wire format probes have always
+  // had, and what the echoed-bytes golden traces pin down.
+  const std::size_t innerBytes =
+      std::max(net::kEthernetHeaderSize + ipLen, net::kMinFrameSize) -
+      net::kEthernetHeaderSize;
+  const std::size_t frameLen = net::kEthernetHeaderSize + tppBytes + innerBytes;
+  auto packet = net::Packet::make(std::max(frameLen, net::kMinFrameSize));
+  packet->createdAt = sim_.now();
+
+  net::EthernetHeader eth{dstMac, mac_, net::kEtherTypeTpp};
+  eth.write(packet->span());
+  core::writeTpp(packet->span(), net::kEthernetHeaderSize, program,
+                 net::kEtherTypeIpv4);
+
+  const std::size_t ipOff = net::kEthernetHeaderSize + tppBytes;
+  net::Ipv4Header ip;
+  ip.totalLength = static_cast<std::uint16_t>(ipLen);
+  ip.identification = nextIpId_++;
+  ip.src = ip_;
+  ip.dst = dstIp;
+  ip.write(packet->span().subspan(ipOff));
+
+  net::UdpHeader udp;
+  udp.srcPort = kTppEchoPort;
+  udp.dstPort = kTppEchoPort;
+  udp.length = net::kUdpHeaderSize;
+  udp.write(packet->span().subspan(ipOff + net::kIpv4HeaderSize));
+  return packet;
+}
+
 sim::Time Host::sendProbe(net::MacAddress dstMac, net::Ipv4Address dstIp,
                           const core::Program& program) {
-  // The probe encapsulates a minimal UDP datagram to the echo port so the
-  // destination host knows to send the executed program back.
-  auto inner = makeUdpFrame(dstMac, dstIp, kTppEchoPort, kTppEchoPort, {});
-  // Strip the Ethernet header; the TPP frame re-adds its own.
-  std::vector<std::uint8_t> ipPayload(
-      inner->bytes().begin() +
-          static_cast<std::ptrdiff_t>(net::kEthernetHeaderSize),
-      inner->bytes().end());
-  auto packet = core::buildTppFrame(dstMac, mac_, program,
-                                    net::kEtherTypeIpv4, ipPayload);
-  packet->createdAt = sim_.now();
-  return transmit(std::move(packet));
+  return transmit(makeProbeFrame(dstMac, dstIp, program));
 }
 
 sim::Time Host::sendUdpWithTpp(net::MacAddress dstMac, net::Ipv4Address dstIp,
@@ -101,9 +130,10 @@ void Host::receive(net::PacketPtr packet, std::size_t port) {
   if (parsed->tppOffset) {
     // A live TPP reached us. Surface it, then either echo it (probe) or
     // strip it and deliver the inner datagram (shimmed data packet).
-    if (const auto executed = core::parseExecuted(*packet, *parsed->tppOffset);
-        executed && !tppArrival_.empty()) {
-      for (const auto& handler : tppArrival_) handler(*executed);
+    if (!tppArrival_.empty() &&
+        core::parseExecutedInto(packet->span().subspan(*parsed->tppOffset),
+                                echoScratch_)) {
+      for (const auto& handler : tppArrival_) handler(echoScratch_);
     }
     if (parsed->ip && parsed->udp && parsed->udp->dstPort == kTppEchoPort) {
       echoExecutedTpp(*packet, *parsed->tppOffset, *parsed->ip, *parsed->udp);
@@ -126,8 +156,7 @@ void Host::echoExecutedTpp(const net::Packet& packet, std::size_t tppOffset,
   const auto eth = net::EthernetHeader::parse(packet.span());
   if (!eth) return;
   ++echoed_;
-  sendUdp(eth->src, ip.src, udp.dstPort, udp.srcPort,
-          std::vector<std::uint8_t>(tppBytes.begin(), tppBytes.end()));
+  sendUdp(eth->src, ip.src, udp.dstPort, udp.srcPort, tppBytes);
 }
 
 void Host::deliverUdp(net::Packet& packet) {
@@ -139,22 +168,18 @@ void Host::deliverUdp(net::Packet& packet) {
   if (parsed->udp->dstPort == kTppEchoPort ||
       parsed->udp->srcPort == kTppEchoPort) {
     if (!tppResult_.empty()) {
-      // Reconstruct an ExecutedTpp from the payload bytes.
+      // Parse an ExecutedTpp straight out of the payload bytes, reusing the
+      // scratch object's capacity (steady-state echoes allocate nothing).
       const std::size_t payloadLen =
           parsed->udp->length >= net::kUdpHeaderSize
               ? parsed->udp->length - net::kUdpHeaderSize
               : 0;
       if (parsed->l4PayloadOffset + payloadLen <= packet.size() &&
-          payloadLen > 0) {
-        net::Packet shim(std::vector<std::uint8_t>(
-            packet.bytes().begin() +
-                static_cast<std::ptrdiff_t>(parsed->l4PayloadOffset),
-            packet.bytes().begin() +
-                static_cast<std::ptrdiff_t>(parsed->l4PayloadOffset +
-                                            payloadLen)));
-        if (const auto executed = core::parseExecuted(shim, 0)) {
-          for (const auto& handler : tppResult_) handler(*executed);
-        }
+          payloadLen > 0 &&
+          core::parseExecutedInto(
+              packet.span().subspan(parsed->l4PayloadOffset, payloadLen),
+              echoScratch_)) {
+        for (const auto& handler : tppResult_) handler(echoScratch_);
       }
     }
     return;

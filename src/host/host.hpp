@@ -80,6 +80,12 @@ class Host : public net::Node {
                               std::uint16_t srcPort, std::uint16_t dstPort,
                               std::span<const std::uint8_t> payload);
 
+  // Builds (but does not send) the probe frame sendProbe() would transmit.
+  // The ReliableProber builds each probe's frame once and clones it for
+  // retransmits, so retries skip re-serialization entirely.
+  net::PacketPtr makeProbeFrame(net::MacAddress dstMac, net::Ipv4Address dstIp,
+                                const core::Program& program);
+
   // ------------------------------------------------------------- receiving
   using UdpHandler = std::function<void(const UdpDatagram&)>;
   // Registers a handler for UDP datagrams to `port`. One handler per port.
@@ -127,6 +133,9 @@ class Host : public net::Node {
   std::map<std::uint16_t, UdpHandler> udpHandlers_;
   std::vector<TppResultHandler> tppResult_;
   std::vector<TppResultHandler> tppArrival_;
+  // Reused across echo deliveries so the probe feedback path stays
+  // allocation-free; handlers must not retain the reference.
+  core::ExecutedTpp echoScratch_;
   sim::Tracer* tracer_ = nullptr;
   std::uint32_t actor_ = 0;
   std::uint16_t nextIpId_ = 1;

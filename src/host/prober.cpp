@@ -27,6 +27,7 @@ std::uint32_t ReliableProber::send(const core::Program& program,
   const std::uint32_t seq = nextSeq_++;
   Pending p;
   p.taggedProgram = tagged(program, seq);
+  p.frame = host_.makeProbeFrame(cfg_.dstMac, cfg_.dstIp, p.taggedProgram);
   p.seqIndex = seqWordIndex(program);
   p.onResult = std::move(onResult);
   p.onLoss = std::move(onLoss);
@@ -52,7 +53,9 @@ void ReliableProber::trace(sim::TraceKind kind, std::uint16_t task,
 }
 
 void ReliableProber::transmit(const Pending& p) {
-  host_.sendProbe(cfg_.dstMac, cfg_.dstIp, p.taggedProgram);
+  auto copy = p.frame->clone();
+  copy->createdAt = host_.simulator().now();
+  host_.transmit(std::move(copy));
 }
 
 void ReliableProber::armTimer(std::uint32_t seq, Pending& p) {

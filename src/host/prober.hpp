@@ -73,6 +73,9 @@ class ReliableProber {
  private:
   struct Pending {
     core::Program taggedProgram;
+    // The serialized probe frame, built once at send(); every transmission
+    // (original and retransmits) clones it instead of re-serializing.
+    net::PacketPtr frame;
     std::size_t seqIndex = 0;
     ResultFn onResult;
     LossFn onLoss;

@@ -35,7 +35,7 @@ std::uint32_t segmentChecksum(std::span<const std::uint8_t> bytes) {
 void TcpSegment::serialize(std::vector<std::uint8_t>& out) const {
   out.resize(kHeaderBytes + payload.size());
   out[0] = flags;
-  out[1] = 0;
+  out[1] = static_cast<std::uint8_t>(spin & 1);
   net::putBe16(out, 2, static_cast<std::uint16_t>(payload.size()));
   net::putBe32(out, 4, seq);
   net::putBe32(out, 8, ack);
@@ -49,10 +49,11 @@ std::optional<TcpSegment> TcpSegment::parse(
   if (bytes.size() < kHeaderBytes) return std::nullopt;
   const std::uint16_t len = *net::getBe16(bytes, 2);
   if (bytes.size() != kHeaderBytes + len) return std::nullopt;
-  if (bytes[1] != 0) return std::nullopt;
+  if ((bytes[1] & ~1) != 0) return std::nullopt;  // only the spin bit may be set
   if (segmentChecksum(bytes) != *net::getBe32(bytes, 16)) return std::nullopt;
   TcpSegment s;
   s.flags = bytes[0];
+  s.spin = bytes[1] & 1;
   s.seq = *net::getBe32(bytes, 4);
   s.ack = *net::getBe32(bytes, 8);
   s.wnd = *net::getBe32(bytes, 12);
@@ -81,6 +82,7 @@ void TcpConnection::connect(net::MacAddress dstMac, net::Ipv4Address dstIp,
   localPort_ = localPort;
   bytesQueued_ = sendBytes;
   finQueued_ = true;  // stream length is fixed up front: close after it
+  spinClient_ = true;  // active opener drives the spin bit
   host_.bindUdp(localPort_,
                 [this](const UdpDatagram& d) { onDatagram(d); });
   boundPort_ = true;
@@ -110,6 +112,7 @@ void TcpConnection::accept(const TcpSegment& syn, net::MacAddress peerMac,
   irs_ = syn.seq;
   rcvNxt_ = syn.seq + 1;
   peerWnd_ = syn.wnd;
+  peerSpin_ = syn.spin & 1;
   iss_ = cfg_.initialSeq;
   sndUna_ = iss_;
   state_ = State::SynReceived;
@@ -160,6 +163,7 @@ void TcpConnection::onDatagram(const UdpDatagram& dgram) {
 }
 
 void TcpConnection::onSegment(const TcpSegment& seg) {
+  peerSpin_ = seg.spin & 1;
   if (state_ == State::Closed) {
     // Lightweight TIME_WAIT: after a clean close we still re-ack a peer's
     // retransmitted FIN (our final ACK may have been lost), so the peer's
@@ -433,7 +437,9 @@ void TcpConnection::emitSegment(std::uint8_t flags, std::uint32_t seq,
                                 std::uint32_t len) {
   txBuf_.resize(TcpSegment::kHeaderBytes + len);
   txBuf_[0] = flags;
-  txBuf_[1] = 0;
+  // Spin bit: the client sends the inverse of the last bit it saw, the
+  // server echoes it — one flip per round trip for on-path observers.
+  txBuf_[1] = spinClient_ ? (peerSpin_ ^ 1) : peerSpin_;
   net::putBe16(txBuf_, 2, static_cast<std::uint16_t>(len));
   net::putBe32(txBuf_, 4, seq);
   net::putBe32(txBuf_, 8, (flags & TcpSegment::kAck) != 0 ? rcvNxt_ : 0);

@@ -48,7 +48,7 @@ namespace tpp::host {
 //
 // 20-byte segment header, big-endian, carried as UDP payload:
 //   off 0  u8  flags (SYN=1, ACK=2, FIN=4)
-//   off 1  u8  reserved (0)
+//   off 1  u8  spin bit (bit 0; remaining bits reserved, must be 0)
 //   off 2  u16 payload length
 //   off 4  u32 seq
 //   off 8  u32 ack (valid when ACK set)
@@ -61,6 +61,12 @@ struct TcpSegment {
   static constexpr std::uint8_t kFin = 4;
 
   std::uint8_t flags = 0;
+  // Passive-RTT spin bit (QUIC RFC 9000 §17.4 pattern, DESIGN.md §14): the
+  // active opener sends the inverse of the last bit it saw, the passive
+  // side echoes it, so the bit flips once per round trip and any on-path
+  // observer can estimate the RTT from flip spacing alone. Covered by the
+  // segment checksum like every other header byte.
+  std::uint8_t spin = 0;
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
   std::uint32_t wnd = 0;
@@ -292,6 +298,11 @@ class TcpConnection {
   std::uint64_t fastRetransmits_ = 0;
   std::uint64_t rtoFires_ = 0;
   std::uint64_t cwndCuts_ = 0;
+
+  // Spin-bit state: the active opener (connect()) inverts the last bit
+  // seen from the peer; the passive side echoes it.
+  bool spinClient_ = false;
+  std::uint8_t peerSpin_ = 0;
 
   std::optional<sim::Time> establishedAt_;
   std::optional<sim::Time> closedAt_;

@@ -1,0 +1,211 @@
+#include "src/monitor/dapper.hpp"
+
+#include <algorithm>
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::monitor {
+
+using core::Instruction;
+using core::Opcode;
+
+std::uint64_t FlowDiagnoser::slotSalt() { return 0xd1a6705e51075ull; }
+std::uint64_t FlowDiagnoser::sigSalt() { return 0xd1a6705e5816ull; }
+
+std::uint16_t FlowDiagnoser::slotAddress(std::uint16_t baseAddress,
+                                         std::uint64_t flowHash) const {
+  const std::uint32_t slot = core::hookColumn(flowHash, slotSalt(),
+                                              cfg_.slots);
+  return static_cast<std::uint16_t>(baseAddress + slot * kSlotWords);
+}
+
+core::HookProgram FlowDiagnoser::initHook(std::uint16_t baseAddress) const {
+  // Claim protocol, gated so it only runs on a free slot:
+  //   CEXEC  sig == 0          (occupied -> whole program skips)
+  //   CSTORE sig: 0 -> SIG     (flow signature, patched per packet)
+  //   CSTORE lastLo: 0 -> now  (first inter-arrival baseline)
+  //   CSTORE minWnd: 0 -> ~0   (MIN identity; 0 would stick forever)
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  core::HookProgram hook;
+  hook.name = "dapper-init";
+  hook.tcpOnly = true;
+
+  b.imm(0xffffffffu);                       // cexec mask
+  b.imm(0);                                 // cexec value: sig == 0
+  const std::uint8_t claimCond = b.imm(0);
+  const std::uint8_t claimSrc = b.imm(1);   // placeholder, patched to SIG
+  const std::uint8_t lastCond = b.imm(0);
+  const std::uint8_t lastSrc = b.imm(0);    // ADD TimeLo -> now
+  const std::uint8_t wndCond = b.imm(0);
+  b.imm(0xffffffffu);                       // minWnd init value
+
+  const std::uint16_t sig = static_cast<std::uint16_t>(baseAddress + kSigWord);
+  const std::uint16_t last =
+      static_cast<std::uint16_t>(baseAddress + kLastLoWord);
+  const std::uint16_t wnd =
+      static_cast<std::uint16_t>(baseAddress + kMinWndWord);
+  b.raw(Instruction{Opcode::Cexec, sig, 0});          // 0: mask/value imms 0,1
+  b.raw(Instruction{Opcode::Cstore, sig, claimCond}); // 1
+  b.add(core::addr::TimeLo, lastSrc);                 // 2
+  b.raw(Instruction{Opcode::Cstore, last, lastCond}); // 3
+  b.raw(Instruction{Opcode::Cstore, wnd, wndCond});   // 4
+
+  hook.program = b.buildChecked();
+  core::HookProgram::AddrPatch patch;
+  patch.baseAddress = baseAddress;
+  patch.slots = cfg_.slots;
+  patch.slotStride = kSlotWords;
+  patch.salt = slotSalt();
+  patch.targets = {{0, kSigWord},
+                   {1, kSigWord},
+                   {3, kLastLoWord},
+                   {4, kMinWndWord}};
+  hook.addrPatches.push_back(std::move(patch));
+  hook.pmemPatches.push_back(
+      {claimSrc, core::HookProgram::PmemSource::FlowSig, sigSalt()});
+  return hook;
+}
+
+core::HookProgram FlowDiagnoser::updateHook(
+    std::uint16_t baseAddress) const {
+  // Gated on the slot holding this flow's signature; every record mutation
+  // is a LOAD/compute/CSTORE read-modify-write, so the interference
+  // analyzer sees only Rmw effects on the record words. lastLo is updated
+  // last — the gap computations subtract the previous arrival time.
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  core::HookProgram hook;
+  hook.name = "dapper-update";
+  hook.tcpOnly = true;
+
+  const std::uint8_t gateMask = b.imm(0xffffffffu);
+  const std::uint8_t gateSig = b.imm(0);  // patched to SIG
+  const std::uint8_t pktsCond = b.imm(0);
+  b.imm(1);  // pkts src: 1 + old
+  const std::uint8_t bytesCond = b.imm(0);
+  const std::uint8_t bytesSrc = b.imm(0);
+  const std::uint8_t maxCond = b.imm(0);
+  const std::uint8_t maxSrc = b.imm(0);
+  const std::uint8_t sumCond = b.imm(0);
+  const std::uint8_t sumSrc = b.imm(0);
+  const std::uint8_t wndCond = b.imm(0);
+  const std::uint8_t wndSrc = b.imm(0);
+  const std::uint8_t lastCond = b.imm(0);
+  const std::uint8_t lastSrc = b.imm(0);
+
+  const auto word = [baseAddress](std::uint16_t w) {
+    return static_cast<std::uint16_t>(baseAddress + w);
+  };
+  const std::uint16_t sig = word(kSigWord);
+  const std::uint16_t pkts = word(kPktsWord);
+  const std::uint16_t bytes = word(kBytesWord);
+  const std::uint16_t last = word(kLastLoWord);
+  const std::uint16_t maxGap = word(kMaxGapWord);
+  const std::uint16_t sumGap = word(kSumGapWord);
+  const std::uint16_t minWnd = word(kMinWndWord);
+
+  b.raw(Instruction{Opcode::Cexec, sig, gateMask});       //  0
+  b.load(pkts, pktsCond);                                 //  1
+  b.add(pkts, static_cast<std::uint8_t>(pktsCond + 1));   //  2
+  b.raw(Instruction{Opcode::Cstore, pkts, pktsCond});     //  3
+  b.load(bytes, bytesCond);                               //  4
+  b.add(bytes, bytesSrc);                                 //  5
+  b.add(core::addr::PacketBytes, bytesSrc);               //  6
+  b.raw(Instruction{Opcode::Cstore, bytes, bytesCond});   //  7
+  b.load(maxGap, maxCond);                                //  8
+  b.add(core::addr::TimeLo, maxSrc);                      //  9
+  b.sub(last, maxSrc);                                    // 10: gap = now-last
+  b.maxOp(maxGap, maxSrc);                                // 11
+  b.raw(Instruction{Opcode::Cstore, maxGap, maxCond});    // 12
+  b.load(sumGap, sumCond);                                // 13
+  b.add(core::addr::TimeLo, sumSrc);                      // 14
+  b.sub(last, sumSrc);                                    // 15
+  b.add(sumGap, sumSrc);                                  // 16
+  b.raw(Instruction{Opcode::Cstore, sumGap, sumCond});    // 17
+  b.load(minWnd, wndCond);                                // 18
+  b.add(core::addr::TcpWnd, wndSrc);                      // 19
+  b.minOp(minWnd, wndSrc);                                // 20
+  b.raw(Instruction{Opcode::Cstore, minWnd, wndCond});    // 21
+  b.load(last, lastCond);                                 // 22
+  b.add(core::addr::TimeLo, lastSrc);                     // 23
+  b.raw(Instruction{Opcode::Cstore, last, lastCond});     // 24
+
+  hook.program = b.buildChecked();
+  core::HookProgram::AddrPatch patch;
+  patch.baseAddress = baseAddress;
+  patch.slots = cfg_.slots;
+  patch.slotStride = kSlotWords;
+  patch.salt = slotSalt();
+  patch.targets = {{0, kSigWord},    {1, kPktsWord},   {2, kPktsWord},
+                   {3, kPktsWord},   {4, kBytesWord},  {5, kBytesWord},
+                   {7, kBytesWord},  {8, kMaxGapWord}, {10, kLastLoWord},
+                   {11, kMaxGapWord}, {12, kMaxGapWord}, {13, kSumGapWord},
+                   {15, kLastLoWord}, {16, kSumGapWord}, {17, kSumGapWord},
+                   {18, kMinWndWord}, {20, kMinWndWord}, {21, kMinWndWord},
+                   {22, kLastLoWord}, {24, kLastLoWord}};
+  hook.addrPatches.push_back(std::move(patch));
+  hook.pmemPatches.push_back(
+      {gateSig, core::HookProgram::PmemSource::FlowSig, sigSalt()});
+  return hook;
+}
+
+std::optional<FlowDiagnoser::FlowRecord> FlowDiagnoser::record(
+    const ReadWordFn& readWord, std::uint16_t baseAddress,
+    std::uint64_t flowHash) const {
+  const std::uint16_t base = slotAddress(baseAddress, flowHash);
+  const auto sig = readWord(static_cast<std::uint16_t>(base + kSigWord));
+  if (!sig || *sig != core::hookFlowSig(flowHash, sigSalt())) {
+    return std::nullopt;  // never claimed, or lost the slot to a collision
+  }
+  FlowRecord rec;
+  const auto read = [&](std::uint16_t w) {
+    return readWord(static_cast<std::uint16_t>(base + w));
+  };
+  const auto pkts = read(kPktsWord);
+  const auto bytes = read(kBytesWord);
+  const auto maxGap = read(kMaxGapWord);
+  const auto sumGap = read(kSumGapWord);
+  const auto minWnd = read(kMinWndWord);
+  if (!pkts || !bytes || !maxGap || !sumGap || !minWnd) return std::nullopt;
+  rec.pkts = *pkts;
+  rec.bytes = *bytes;
+  rec.maxGapNs = *maxGap;
+  rec.sumGapNs = *sumGap;
+  rec.minWndBytes = *minWnd;
+  return rec;
+}
+
+FlowDiagnoser::Verdict FlowDiagnoser::classify(
+    const FlowRecord& record) const {
+  if (record.pkts < cfg_.minPackets) return Verdict::Unknown;
+  if (record.minWndBytes <= cfg_.rcvWndFloorBytes) {
+    return Verdict::ReceiverLimited;
+  }
+  const double meanGap =
+      record.pkts > 1
+          ? static_cast<double>(record.sumGapNs) / (record.pkts - 1)
+          : 0.0;
+  const double burstBar = std::max(static_cast<double>(cfg_.gapFloorNs),
+                                   cfg_.burstFactor * meanGap);
+  if (static_cast<double>(record.maxGapNs) >= burstBar) {
+    return Verdict::NetworkLimited;
+  }
+  if (meanGap >= static_cast<double>(cfg_.pacedGapNs)) {
+    return Verdict::SenderLimited;
+  }
+  return Verdict::Healthy;
+}
+
+std::string_view verdictName(FlowDiagnoser::Verdict verdict) {
+  switch (verdict) {
+    case FlowDiagnoser::Verdict::Unknown: return "unknown";
+    case FlowDiagnoser::Verdict::ReceiverLimited: return "receiver-limited";
+    case FlowDiagnoser::Verdict::NetworkLimited: return "network-limited";
+    case FlowDiagnoser::Verdict::SenderLimited: return "sender-limited";
+    case FlowDiagnoser::Verdict::Healthy: return "healthy";
+  }
+  return "unknown";
+}
+
+}  // namespace tpp::monitor

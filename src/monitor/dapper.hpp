@@ -1,0 +1,106 @@
+// Dapper-style per-flow TCP diagnosis in scratch SRAM (DESIGN.md §14;
+// after Ghasemi, Benson & Rexford, "Dapper: Data Plane Performance
+// Diagnosis of TCP", SOSR 2017).
+//
+// A resident hook pair maintains a small direct-mapped table of per-flow
+// records keyed by a salted flow signature. Each record is
+// kSlotWords = 8 scratch words:
+//   [0] sig       claimed-flow signature (0 = slot free)
+//   [1] pkts      segments folded in
+//   [2] bytes     wire bytes folded in
+//   [3] lastLo    Switch:TimeLo at the previous segment
+//   [4] maxGap    max inter-arrival gap, ns
+//   [5] sumGap    sum of inter-arrival gaps, ns (mean = sumGap/(pkts-1))
+//   [6] minWnd    min advertised receive window seen, bytes
+//   [7] reserved
+//
+// The init hook claims a free slot with CEXEC(sig==0) + CSTORE; the update
+// hook is CEXEC-gated on the signature matching, so hash-colliding flows
+// skip rather than corrupt another flow's record. The host classifies a
+// flow from one probe round-trip over its record: receiver-limited (the
+// advertised window pinched), network-limited (a retransmission-shaped
+// burst gap dominates), or sender-limited (mean gap far above line rate —
+// the application simply isn't offering data).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "src/core/hook.hpp"
+#include "src/core/program.hpp"
+
+namespace tpp::monitor {
+
+struct DapperConfig {
+  // Default matches apps::kTaskDapper.
+  std::uint16_t taskId = 9;
+  std::uint32_t slots = 32;
+  // Classification knobs (host side).
+  std::uint64_t minPackets = 8;          // fewer -> Unknown
+  std::uint32_t rcvWndFloorBytes = 4096; // minWnd at/below -> ReceiverLimited
+  std::uint64_t gapFloorNs = 1'000'000;  // maxGap below this is never "burst"
+  double burstFactor = 4.0;              // maxGap >= factor*meanGap -> Network
+  std::uint64_t pacedGapNs = 10'000'000; // meanGap at/above -> SenderLimited
+};
+
+class FlowDiagnoser {
+ public:
+  static constexpr std::uint16_t kSlotWords = 8;
+  static constexpr std::uint16_t kSigWord = 0;
+  static constexpr std::uint16_t kPktsWord = 1;
+  static constexpr std::uint16_t kBytesWord = 2;
+  static constexpr std::uint16_t kLastLoWord = 3;
+  static constexpr std::uint16_t kMaxGapWord = 4;
+  static constexpr std::uint16_t kSumGapWord = 5;
+  static constexpr std::uint16_t kMinWndWord = 6;
+
+  explicit FlowDiagnoser(DapperConfig config = {}) : cfg_(config) {}
+  const DapperConfig& config() const { return cfg_; }
+  std::uint16_t words() const {
+    return static_cast<std::uint16_t>(cfg_.slots * kSlotWords);
+  }
+
+  static std::uint64_t slotSalt();  // slot-index hash salt
+  static std::uint64_t sigSalt();   // flow-signature salt
+
+  // Claims a free slot for an unseen flow (tcpOnly).
+  core::HookProgram initHook(std::uint16_t baseAddress) const;
+  // Folds one TCP segment into the flow's claimed record (tcpOnly).
+  core::HookProgram updateHook(std::uint16_t baseAddress) const;
+
+  std::uint16_t slotAddress(std::uint16_t baseAddress,
+                            std::uint64_t flowHash) const;
+
+  struct FlowRecord {
+    std::uint32_t pkts = 0;
+    std::uint32_t bytes = 0;
+    std::uint32_t maxGapNs = 0;
+    std::uint32_t sumGapNs = 0;
+    std::uint32_t minWndBytes = 0;
+  };
+  // Reads the flow's record via `readWord` (absolute address -> value).
+  // nullopt if a read fails or the slot holds a different flow's signature
+  // (hash collision or never claimed).
+  using ReadWordFn = std::function<std::optional<std::uint32_t>(std::uint16_t)>;
+  std::optional<FlowRecord> record(const ReadWordFn& readWord,
+                                   std::uint16_t baseAddress,
+                                   std::uint64_t flowHash) const;
+
+  enum class Verdict : std::uint8_t {
+    Unknown,          // too few packets observed
+    ReceiverLimited,  // advertised window pinched the sender
+    NetworkLimited,   // a loss/timeout-shaped gap dominates arrivals
+    SenderLimited,    // arrivals paced far below line rate
+    Healthy,
+  };
+  Verdict classify(const FlowRecord& record) const;
+
+ private:
+  DapperConfig cfg_;
+};
+
+std::string_view verdictName(FlowDiagnoser::Verdict verdict);
+
+}  // namespace tpp::monitor

@@ -1,0 +1,20 @@
+#include "src/monitor/ground_truth.hpp"
+
+#include "src/asic/parser.hpp"
+
+namespace tpp::monitor {
+
+void GroundTruthCounter::onEnqueue(net::Packet& packet,
+                                   std::size_t egressPort) {
+  const auto parsed = asic::parsePacket(packet);
+  if (parsed && parsed->ip && !parsed->tppOffset) {
+    auto& counts = flows_[asic::flowHashOf(*parsed)];
+    ++counts.packets;
+    counts.bytes += packet.size();
+    ++eligible_;
+    eligibleBytes_ += packet.size();
+  }
+  if (next_ != nullptr) next_->onEnqueue(packet, egressPort);
+}
+
+}  // namespace tpp::monitor

@@ -1,0 +1,51 @@
+// Ground-truth flow counter for sketch accuracy harnesses: an egress
+// interceptor that applies EXACTLY the resident-hook eligibility rule
+// (IPv4, not a TPP carrier) and keeps exact per-flow packet/byte counts
+// keyed by the pipeline's own flow hash. Sketch estimates are compared
+// against these to assert the count-min (eps, delta) bound; the interceptor
+// fires on the same enqueue path as the hooks, so at stride 1 the two see
+// the identical packet stream.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/asic/switch.hpp"
+
+namespace tpp::monitor {
+
+class GroundTruthCounter : public asic::EgressInterceptor {
+ public:
+  struct FlowCounts {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  // Chains to `next` (e.g. the RCP baseline's interceptor) after counting.
+  explicit GroundTruthCounter(asic::EgressInterceptor* next = nullptr)
+      : next_(next) {}
+
+  void onEnqueue(net::Packet& packet, std::size_t egressPort) override;
+
+  const std::unordered_map<std::uint64_t, FlowCounts>& flows() const {
+    return flows_;
+  }
+  // Hook-eligible packets seen — equals Switch::hookExecutions() per
+  // installed always-on hook at stride 1.
+  std::uint64_t eligiblePackets() const { return eligible_; }
+  std::uint64_t eligibleBytes() const { return eligibleBytes_; }
+
+  void reset() {
+    flows_.clear();
+    eligible_ = 0;
+    eligibleBytes_ = 0;
+  }
+
+ private:
+  asic::EgressInterceptor* next_ = nullptr;
+  std::unordered_map<std::uint64_t, FlowCounts> flows_;
+  std::uint64_t eligible_ = 0;
+  std::uint64_t eligibleBytes_ = 0;
+};
+
+}  // namespace tpp::monitor

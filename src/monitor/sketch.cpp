@@ -1,0 +1,115 @@
+#include "src/monitor/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::monitor {
+
+using core::Instruction;
+using core::Opcode;
+
+double CountMinSketch::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(cfg_.width);
+}
+
+double CountMinSketch::delta() const {
+  return std::exp(-static_cast<double>(cfg_.rows));
+}
+
+std::uint64_t CountMinSketch::rowSalt(std::uint32_t row) {
+  // Distinct nonzero salts pick distinct members of the hash family.
+  return 0x9e3779b97f4a7c15ull + row;
+}
+
+std::uint16_t CountMinSketch::counterAddress(std::uint16_t baseAddress,
+                                             std::uint32_t row,
+                                             std::uint64_t flowHash) const {
+  const std::uint32_t col = core::hookColumn(flowHash, rowSalt(row),
+                                             cfg_.width);
+  return static_cast<std::uint16_t>(baseAddress + kCountersWord +
+                                    row * cfg_.width + col);
+}
+
+core::HookProgram CountMinSketch::updateHook(
+    std::uint16_t baseAddress) const {
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  core::HookProgram hook;
+  hook.name = "sketch-update";
+  for (std::uint32_t r = 0; r < cfg_.rows; ++r) {
+    // Row base = column-0 counter; the runtime patch replaces it with the
+    // packet's hashed column. The increment lands in the CSTORE src word:
+    // pmem[src] starts at 1, ADD folds in the old counter, and the CSTORE
+    // commits old+1 only if the counter still equals the LOADed old value.
+    const std::uint16_t rowBase = static_cast<std::uint16_t>(
+        baseAddress + kCountersWord + r * cfg_.width);
+    const std::uint8_t cond = b.imm(0);
+    b.imm(1);  // src = cond + 1 (CSTORE operand adjacency)
+    const std::uint16_t i0 = static_cast<std::uint16_t>(3 * r);
+    b.load(rowBase, cond);
+    b.add(rowBase, static_cast<std::uint8_t>(cond + 1));
+    b.raw(Instruction{Opcode::Cstore, rowBase, cond});
+    core::HookProgram::AddrPatch patch;
+    patch.baseAddress = rowBase;
+    patch.slots = cfg_.width;
+    patch.slotStride = 1;
+    patch.salt = rowSalt(r);
+    patch.targets = {{i0, 0},
+                     {static_cast<std::uint16_t>(i0 + 1), 0},
+                     {static_cast<std::uint16_t>(i0 + 2), 0}};
+    hook.addrPatches.push_back(std::move(patch));
+  }
+  hook.program = b.buildChecked();
+  return hook;
+}
+
+core::Program CountMinSketch::readProbeProgram(std::uint16_t baseAddress,
+                                               std::uint32_t switchId,
+                                               std::uint64_t flowHash) const {
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  b.reserve(static_cast<std::uint8_t>(cfg_.rows + 1));
+  b.cexec(core::addr::SwitchId, 0xffffffffu, switchId);
+  b.push(static_cast<std::uint16_t>(baseAddress + kEpochWord));
+  for (std::uint32_t r = 0; r < cfg_.rows; ++r) {
+    b.push(counterAddress(baseAddress, r, flowHash));
+  }
+  return b.buildChecked();
+}
+
+std::optional<std::uint64_t> CountMinSketch::estimate(
+    const ReadWordFn& readWord, std::uint16_t baseAddress,
+    std::uint64_t flowHash, std::uint32_t stride) const {
+  std::uint64_t best = 0;
+  for (std::uint32_t r = 0; r < cfg_.rows; ++r) {
+    const auto v = readWord(counterAddress(baseAddress, r, flowHash));
+    if (!v) return std::nullopt;
+    if (r == 0 || *v < best) best = *v;
+  }
+  return best * std::max<std::uint32_t>(1, stride);
+}
+
+core::Program CountMinSketch::epochBumpProgram(
+    std::uint16_t baseAddress, std::uint32_t switchId,
+    std::uint32_t expectedEpoch) const {
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  b.cexec(core::addr::SwitchId, 0xffffffffu, switchId);
+  b.cstore(static_cast<std::uint16_t>(baseAddress + kEpochWord),
+           expectedEpoch, expectedEpoch + 1);
+  return b.buildChecked();
+}
+
+core::Program CountMinSketch::counterResetProgram(
+    std::uint16_t counterAddress, std::uint32_t switchId,
+    std::uint32_t observed) const {
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  b.cexec(core::addr::SwitchId, 0xffffffffu, switchId);
+  b.cstore(counterAddress, observed, 0);
+  return b.buildChecked();
+}
+
+}  // namespace tpp::monitor

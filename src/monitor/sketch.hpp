@@ -1,0 +1,95 @@
+// Count-min sketch maintained in scratch SRAM by a resident TPP hook
+// (DESIGN.md §14; Cormode & Muthukrishnan 2005).
+//
+// Layout inside the task's SRAM grant (all words, base = grant base):
+//   [0]                    epoch register (CSTORE-bumped on reset)
+//   [1]                    heavy-hitter threshold (host-set, packets)
+//   [2 + r*width + c]      counter, row r column c
+//
+// The per-packet update hook performs, for each of the d rows, a
+// LOAD/ADD/CSTORE read-modify-write of the counter the packet's flow hash
+// selects — every counter access is CSTORE-mediated, so two sketch tasks
+// sharing a row region classify as benign shared-rmw under the
+// interference analyzer, while any plain STORE aliasing a counter is
+// rejected as a lost update.
+//
+// Standard guarantees (pairwise-independent row hashes, here the salted
+// FNV mix of core::hookColumn): with w = ceil(e/eps) columns and
+// d = ceil(ln 1/delta) rows, estimate(f) >= true(f) always (no
+// underestimation), and estimate(f) <= true(f) + eps*N with probability
+// at least 1 - delta, N = total eligible packets folded in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/core/hook.hpp"
+#include "src/core/program.hpp"
+
+namespace tpp::monitor {
+
+struct SketchConfig {
+  // Default matches apps::kTaskSketch.
+  std::uint16_t taskId = 8;
+  std::uint32_t rows = 4;    // d: error probability delta = e^-d ~ 1.8%
+  std::uint32_t width = 64;  // w: overestimate bound eps = e/w ~ 4.2% of N
+};
+
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(SketchConfig config = {}) : cfg_(config) {}
+
+  const SketchConfig& config() const { return cfg_; }
+  // Scratch words the sketch needs granted: epoch + threshold + counters.
+  std::uint16_t words() const {
+    return static_cast<std::uint16_t>(2 + cfg_.rows * cfg_.width);
+  }
+  double epsilon() const;  // e / width
+  double delta() const;    // e^-rows
+
+  static constexpr std::uint16_t kEpochWord = 0;
+  static constexpr std::uint16_t kThresholdWord = 1;
+  static constexpr std::uint16_t kCountersWord = 2;
+
+  // Salt of row r's hash-family member.
+  static std::uint64_t rowSalt(std::uint32_t row);
+
+  // The per-packet update hook, bound to the grant's base address.
+  core::HookProgram updateHook(std::uint16_t baseAddress) const;
+
+  // Address of the row-r counter this flow hashes to.
+  std::uint16_t counterAddress(std::uint16_t baseAddress, std::uint32_t row,
+                               std::uint64_t flowHash) const;
+
+  // Probe program for the host-side reader: CEXEC-pinned to `switchId`,
+  // then pushes the epoch register and the d counters of `flowHash`.
+  // Stack layout on return: [epoch, row0, row1, ...].
+  core::Program readProbeProgram(std::uint16_t baseAddress,
+                                 std::uint32_t switchId,
+                                 std::uint64_t flowHash) const;
+
+  // Point estimate from raw counter values via `readWord` (absolute switch
+  // address -> value): min over rows, scaled back up by the sampling
+  // stride. Returns nullopt if any counter read fails.
+  using ReadWordFn = std::function<std::optional<std::uint32_t>(std::uint16_t)>;
+  std::optional<std::uint64_t> estimate(const ReadWordFn& readWord,
+                                        std::uint16_t baseAddress,
+                                        std::uint64_t flowHash,
+                                        std::uint32_t stride = 1) const;
+
+  // Probe programs for the CSTORE-based epoch reset protocol: bump the
+  // epoch register (expected -> expected+1), and zero one counter whose
+  // current value the host just observed (retry on CSTORE mismatch).
+  core::Program epochBumpProgram(std::uint16_t baseAddress,
+                                 std::uint32_t switchId,
+                                 std::uint32_t expectedEpoch) const;
+  core::Program counterResetProgram(std::uint16_t counterAddress,
+                                    std::uint32_t switchId,
+                                    std::uint32_t observed) const;
+
+ private:
+  SketchConfig cfg_;
+};
+
+}  // namespace tpp::monitor

@@ -1,0 +1,93 @@
+#include "src/monitor/spin.hpp"
+
+#include "src/core/memory_map.hpp"
+
+namespace tpp::monitor {
+
+using core::Instruction;
+using core::Opcode;
+
+std::uint64_t SpinRttMonitor::slotSalt() { return 0x5b1213175ull; }
+
+std::uint16_t SpinRttMonitor::slotAddress(std::uint16_t baseAddress,
+                                          std::uint64_t flowHash) const {
+  const std::uint32_t slot = core::hookColumn(flowHash, slotSalt(),
+                                              cfg_.slots);
+  return static_cast<std::uint16_t>(baseAddress + slot * kSlotWords);
+}
+
+core::HookProgram SpinRttMonitor::hook(std::uint16_t baseAddress) const {
+  // CEXEC gates the whole program on a flip: continue only when the stored
+  // lastBit equals the INVERSE of this packet's spin bit (i.e. the bit
+  // changed). Then: lastRtt = now - lastFlip, flips += 1, lastFlip = now,
+  // lastBit = spin — each a LOAD/CSTORE read-modify-write.
+  core::ProgramBuilder b;
+  b.task(cfg_.taskId);
+  core::HookProgram hook;
+  hook.name = "spin-rtt";
+  hook.tcpOnly = true;
+
+  const std::uint8_t gateMask = b.imm(1);
+  const std::uint8_t gateVal = b.imm(0);  // patched to 1 - spin
+  const std::uint8_t rttCond = b.imm(0);
+  const std::uint8_t rttSrc = b.imm(0);
+  const std::uint8_t flipsCond = b.imm(0);
+  b.imm(1);  // flips src: 1 + old
+  const std::uint8_t flipCond = b.imm(0);
+  const std::uint8_t flipSrc = b.imm(0);
+  const std::uint8_t bitCond = b.imm(0);
+  const std::uint8_t bitSrc = b.imm(0);  // patched to spin
+
+  const auto word = [baseAddress](std::uint16_t w) {
+    return static_cast<std::uint16_t>(baseAddress + w);
+  };
+  const std::uint16_t bit = word(kLastBitWord);
+  const std::uint16_t flip = word(kLastFlipWord);
+  const std::uint16_t rtt = word(kLastRttWord);
+  const std::uint16_t flips = word(kFlipsWord);
+
+  b.raw(Instruction{Opcode::Cexec, bit, gateMask});       //  0
+  b.load(rtt, rttCond);                                   //  1
+  b.add(core::addr::TimeLo, rttSrc);                      //  2
+  b.sub(flip, rttSrc);                                    //  3: now - lastFlip
+  b.raw(Instruction{Opcode::Cstore, rtt, rttCond});       //  4
+  b.load(flips, flipsCond);                               //  5
+  b.add(flips, static_cast<std::uint8_t>(flipsCond + 1)); //  6
+  b.raw(Instruction{Opcode::Cstore, flips, flipsCond});   //  7
+  b.load(flip, flipCond);                                 //  8
+  b.add(core::addr::TimeLo, flipSrc);                     //  9
+  b.raw(Instruction{Opcode::Cstore, flip, flipCond});     // 10
+  b.load(bit, bitCond);                                   // 11
+  b.raw(Instruction{Opcode::Cstore, bit, bitCond});       // 12
+
+  hook.program = b.buildChecked();
+  core::HookProgram::AddrPatch patch;
+  patch.baseAddress = baseAddress;
+  patch.slots = cfg_.slots;
+  patch.slotStride = kSlotWords;
+  patch.salt = slotSalt();
+  patch.targets = {{0, kLastBitWord},  {1, kLastRttWord},
+                   {3, kLastFlipWord}, {4, kLastRttWord},
+                   {5, kFlipsWord},    {6, kFlipsWord},
+                   {7, kFlipsWord},    {8, kLastFlipWord},
+                   {10, kLastFlipWord}, {11, kLastBitWord},
+                   {12, kLastBitWord}};
+  hook.addrPatches.push_back(std::move(patch));
+  hook.pmemPatches.push_back(
+      {gateVal, core::HookProgram::PmemSource::SpinInverse, 0});
+  hook.pmemPatches.push_back(
+      {bitSrc, core::HookProgram::PmemSource::SpinBit, 0});
+  return hook;
+}
+
+std::optional<SpinRttMonitor::RttSample> SpinRttMonitor::sample(
+    const ReadWordFn& readWord, std::uint16_t baseAddress,
+    std::uint64_t flowHash) const {
+  const std::uint16_t base = slotAddress(baseAddress, flowHash);
+  const auto flips = readWord(static_cast<std::uint16_t>(base + kFlipsWord));
+  const auto rtt = readWord(static_cast<std::uint16_t>(base + kLastRttWord));
+  if (!flips || !rtt || *flips < kMinFlips) return std::nullopt;
+  return RttSample{*rtt, *flips};
+}
+
+}  // namespace tpp::monitor

@@ -1,0 +1,72 @@
+// Passive RTT estimation from the TCP spin bit (DESIGN.md §14; the
+// QUIC latency spin bit, RFC 9000 §17.4, applied to the simulator's
+// TCP-over-UDP wire format).
+//
+// The active opener sends the inverse of the last spin bit it received and
+// the passive side echoes — so within one direction of a flow, the bit is
+// a square wave with period one RTT. A resident hook watches one
+// direction, CEXEC-gated to fire only when the observed bit differs from
+// the stored one, and records the time between flips. Per-flow slots of
+// kSlotWords = 4 scratch words, direct-mapped by flow hash:
+//   [0] lastBit     last observed spin bit (0/1)
+//   [1] lastFlipLo  Switch:TimeLo at the last flip
+//   [2] lastRttNs   most recent flip-to-flip interval, ns
+//   [3] flips       flips observed (estimates valid once >= kMinFlips:
+//                   the first "flip" measures against time zero)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/core/hook.hpp"
+#include "src/core/program.hpp"
+
+namespace tpp::monitor {
+
+struct SpinConfig {
+  // Default matches apps::kTaskSpinRtt.
+  std::uint16_t taskId = 10;
+  std::uint32_t slots = 32;
+};
+
+class SpinRttMonitor {
+ public:
+  static constexpr std::uint16_t kSlotWords = 4;
+  static constexpr std::uint16_t kLastBitWord = 0;
+  static constexpr std::uint16_t kLastFlipWord = 1;
+  static constexpr std::uint16_t kLastRttWord = 2;
+  static constexpr std::uint16_t kFlipsWord = 3;
+  static constexpr std::uint32_t kMinFlips = 2;
+
+  explicit SpinRttMonitor(SpinConfig config = {}) : cfg_(config) {}
+  const SpinConfig& config() const { return cfg_; }
+  std::uint16_t words() const {
+    return static_cast<std::uint16_t>(cfg_.slots * kSlotWords);
+  }
+
+  static std::uint64_t slotSalt();
+
+  // The flip-detecting hook (tcpOnly), bound to the grant base address.
+  core::HookProgram hook(std::uint16_t baseAddress) const;
+
+  std::uint16_t slotAddress(std::uint16_t baseAddress,
+                            std::uint64_t flowHash) const;
+
+  struct RttSample {
+    std::uint32_t rttNs = 0;
+    std::uint32_t flips = 0;
+  };
+  // The flow's latest RTT estimate via `readWord` (absolute address ->
+  // value); nullopt until kMinFlips flips have landed (the first interval
+  // measures against an unclaimed slot's time zero).
+  using ReadWordFn = std::function<std::optional<std::uint32_t>(std::uint16_t)>;
+  std::optional<RttSample> sample(const ReadWordFn& readWord,
+                                  std::uint16_t baseAddress,
+                                  std::uint64_t flowHash) const;
+
+ private:
+  SpinConfig cfg_;
+};
+
+}  // namespace tpp::monitor

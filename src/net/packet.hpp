@@ -28,6 +28,16 @@ struct PacketMeta {
   std::uint32_t matchedEntryId = 0;
   std::uint32_t matchedTable = 0;   // 1=L2, 2=L3, 3=TCAM, 0=miss
   std::uint32_t altRouteCount = 0;  // alternate next-hops for this packet
+  // Monitoring registers (DESIGN.md §14): the ECMP 5-tuple flow hash (low
+  // 32 bits), the wire size, and — for recognized TCP-over-UDP segments —
+  // sequence number, advertised window, and the passive-RTT spin bit.
+  // tcpSpin is 0xffffffff ("not TCP") unless the parser recognized a
+  // segment, so TPPs can gate on it with one CEXEC.
+  std::uint32_t flowHashLo = 0;
+  std::uint32_t packetBytes = 0;
+  std::uint32_t tcpSeq = 0;
+  std::uint32_t tcpWnd = 0;
+  std::uint32_t tcpSpin = 0xffffffffu;
 };
 
 class Packet;

@@ -240,4 +240,169 @@ ExecReport Tcpu::execute(TppView& view, AddressSpace& memory) {
   return report;
 }
 
+ExecReport Tcpu::executeResident(
+    std::span<const Instruction> instructions, std::span<std::uint32_t> pmem,
+    std::uint16_t taskId, AddressSpace& memory, std::uint16_t initialSp) {
+  ExecReport report;
+  ++tpps_;
+  std::uint16_t sp = initialSp;
+  const std::size_t n = instructions.size();
+
+  auto fault = [&](Fault f) {
+    report.fault = f;
+    ++faults_;
+  };
+
+  std::size_t i = 0;
+  for (; i < n; ++i) {
+    const auto& ins = instructions[i];
+
+    auto pmemAt = [&](std::size_t idx) -> std::optional<std::uint32_t> {
+      if (idx >= pmem.size()) {
+        fault(Fault::PmemOutOfBounds);
+        return std::nullopt;
+      }
+      return pmem[idx];
+    };
+    auto pmemSet = [&](std::size_t idx, std::uint32_t v) -> bool {
+      if (idx >= pmem.size()) {
+        fault(Fault::PmemOutOfBounds);
+        return false;
+      }
+      pmem[idx] = v;
+      return true;
+    };
+    auto readSwitch = [&](std::uint16_t a) -> std::optional<std::uint32_t> {
+      const auto r = memory.read(a, taskId);
+      if (r.fault != Fault::None) {
+        fault(r.fault);
+        return std::nullopt;
+      }
+      return r.value;
+    };
+    auto writeSwitch = [&](std::uint16_t a, std::uint32_t v) -> bool {
+      const auto f = memory.write(a, v, taskId);
+      if (f != Fault::None) {
+        fault(f);
+        return false;
+      }
+      return true;
+    };
+
+    bool done = false;
+    switch (ins.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Push: {
+        const std::size_t idx = sp / kWordSize;
+        const auto v = readSwitch(ins.addr);
+        if (!v || !pmemSet(idx, *v)) {
+          done = true;
+          break;
+        }
+        sp = static_cast<std::uint16_t>(sp + kWordSize);
+        break;
+      }
+      case Opcode::Pop: {
+        if (sp < kWordSize) {
+          fault(Fault::PmemOutOfBounds);
+          done = true;
+          break;
+        }
+        const std::size_t idx = sp / kWordSize - 1;
+        const auto v = pmemAt(idx);
+        if (!v || !writeSwitch(ins.addr, *v)) {
+          done = true;
+          break;
+        }
+        sp = static_cast<std::uint16_t>(sp - kWordSize);
+        break;
+      }
+      case Opcode::Load: {
+        const auto v = readSwitch(ins.addr);
+        if (!v || !pmemSet(ins.pmemOff, *v)) done = true;
+        break;
+      }
+      case Opcode::Store: {
+        const auto v = pmemAt(ins.pmemOff);
+        if (!v || !writeSwitch(ins.addr, *v)) done = true;
+        break;
+      }
+      case Opcode::Cstore: {
+        const auto cond = pmemAt(ins.pmemOff);
+        const auto src = pmemAt(ins.pmemOff + 1u);
+        if (!cond || !src) {
+          done = true;
+          break;
+        }
+        const auto old = readSwitch(ins.addr);
+        if (!old) {
+          done = true;
+          break;
+        }
+        if (*old == *cond && !writeSwitch(ins.addr, *src)) {
+          done = true;
+          break;
+        }
+        if (!pmemSet(ins.pmemOff, *old)) done = true;
+        break;
+      }
+      case Opcode::Cexec: {
+        const auto mask = pmemAt(ins.pmemOff);
+        const auto value = pmemAt(ins.pmemOff + 1u);
+        if (!mask || !value) {
+          done = true;
+          break;
+        }
+        const auto reg = readSwitch(ins.addr);
+        if (!reg) {
+          done = true;
+          break;
+        }
+        if ((*reg & *mask) != *value) {
+          report.cexecSkipped = true;
+          report.skipped = n - i - 1;
+          done = true;
+        }
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Min:
+      case Opcode::Max: {
+        const auto cur = pmemAt(ins.pmemOff);
+        const auto v = readSwitch(ins.addr);
+        if (!cur || !v) {
+          done = true;
+          break;
+        }
+        std::uint32_t result = 0;
+        switch (ins.op) {
+          case Opcode::Add: result = *cur + *v; break;
+          case Opcode::Sub: result = *cur - *v; break;
+          case Opcode::Min: result = std::min(*cur, *v); break;
+          case Opcode::Max: result = std::max(*cur, *v); break;
+          default: break;
+        }
+        if (!pmemSet(ins.pmemOff, result)) done = true;
+        break;
+      }
+    }
+
+    if (report.fault != Fault::None) break;
+    ++report.executed;
+    ++instructions_;
+    if (tracer_ != nullptr) {
+      tracer_->record(clock_->now(), sim::TraceKind::TcpuRetire, actor_,
+                      taskId, static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(ins.op), ins.addr,
+                      ins.pmemOff);
+    }
+    if (done) break;
+  }
+
+  report.cycles = model_.cycles(report.executed);
+  return report;
+}
+
 }  // namespace tpp::tcpu

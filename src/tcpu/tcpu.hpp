@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/header.hpp"
@@ -58,6 +59,18 @@ class Tcpu {
   // counts TCPU-enabled switches traversed, which path-tracing tasks rely
   // on (§2.3).
   ExecReport execute(core::TppView& view, AddressSpace& memory);
+
+  // Runs a resident hook program (DESIGN.md §14): already-decoded
+  // instructions against a caller-owned packet-memory image, with stack-
+  // mode addressing. No wire bytes exist, so nothing touches the decode
+  // cache (per-packet address patching would otherwise thrash it), no
+  // header flags or hop counter advance, and faults are only reported in
+  // the ExecReport. Semantics per instruction are identical to execute()
+  // in stack mode — test_hook.cpp holds a differential check.
+  ExecReport executeResident(std::span<const core::Instruction> instructions,
+                             std::span<std::uint32_t> pmem,
+                             std::uint16_t taskId, AddressSpace& memory,
+                             std::uint16_t initialSp = 0);
 
   // Arms per-instruction retire tracing (one record per retired
   // instruction — the most verbose trace kind, but the one that shows

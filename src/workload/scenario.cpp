@@ -11,8 +11,11 @@
 #include <sstream>
 #include <utility>
 
+#include "src/apps/task_ids.hpp"
 #include "src/apps/tpp_tcp.hpp"
 #include "src/host/tcp.hpp"
+#include "src/monitor/ground_truth.hpp"
+#include "src/monitor/sketch.hpp"
 #include "src/host/telemetry.hpp"
 #include "src/host/topology.hpp"
 #include "src/sim/fault.hpp"
@@ -303,6 +306,24 @@ bool handleTppKey(ParseCtx& ctx, std::string_view key, std::string_view v) {
   return ctx.fail("unknown key '" + std::string(key) + "' in [tpp]");
 }
 
+bool handleMonitorKey(ParseCtx& ctx, std::string_view key,
+                      std::string_view v) {
+  ScenarioConfig& c = ctx.c;
+  if (key == "sketch") return parseOnOff(ctx, key, v, c.monitorSketch);
+  if (key == "rows") return parseSize(ctx, key, v, c.sketchRows, 1, 8);
+  if (key == "width") return parseSize(ctx, key, v, c.sketchWidth, 2, 1024);
+  if (key == "stride") {
+    std::size_t stride = 0;
+    if (!parseSize(ctx, key, v, stride, 1, 64)) return false;
+    c.sketchStride = static_cast<std::uint32_t>(stride);
+    return true;
+  }
+  if (key == "hh_threshold") {
+    return parseU64(ctx, key, v, c.hhThresholdPkts, 1, 1 << 20);
+  }
+  return ctx.fail("unknown key '" + std::string(key) + "' in [monitor]");
+}
+
 bool handleFaultsKey(ParseCtx& ctx, std::string_view key, std::string_view v) {
   ScenarioConfig& c = ctx.c;
   if (key == "drop_rate") return parseF64(ctx, key, v, c.dropRate, 0.0, 0.5);
@@ -366,7 +387,7 @@ ParsedScenario parseScenario(std::string_view text) {
   ParseCtx ctx;
 
   enum class Section {
-    None, Scenario, Topology, Workload, Tpp, Faults, Metrics
+    None, Scenario, Topology, Workload, Tpp, Monitor, Faults, Metrics
   };
   Section section = Section::None;
 
@@ -393,6 +414,7 @@ ParsedScenario parseScenario(std::string_view text) {
       else if (name == "topology") section = Section::Topology;
       else if (name == "workload") section = Section::Workload;
       else if (name == "tpp") section = Section::Tpp;
+      else if (name == "monitor") section = Section::Monitor;
       else if (name == "faults") section = Section::Faults;
       else if (name == "metrics") section = Section::Metrics;
       else {
@@ -424,6 +446,7 @@ ParsedScenario parseScenario(std::string_view text) {
       case Section::Topology: ok = handleTopologyKey(ctx, key, value); break;
       case Section::Workload: ok = handleWorkloadKey(ctx, key, value); break;
       case Section::Tpp: ok = handleTppKey(ctx, key, value); break;
+      case Section::Monitor: ok = handleMonitorKey(ctx, key, value); break;
       case Section::Faults: ok = handleFaultsKey(ctx, key, value); break;
       case Section::Metrics: ok = handleMetricsKey(ctx, key, value); break;
     }
@@ -513,6 +536,12 @@ std::string serializeScenario(const ScenarioConfig& c) {
   kv("controller", c.tppController ? "on" : "off");
   kvU("queue_threshold_kb", c.queueThresholdKb);
   kvU("max_controllers", c.maxControllers);
+  s += "\n[monitor]\n";
+  kv("sketch", c.monitorSketch ? "on" : "off");
+  kvU("rows", c.sketchRows);
+  kvU("width", c.sketchWidth);
+  kvU("stride", c.sketchStride);
+  kvU("hh_threshold", c.hhThresholdPkts);
   s += "\n[faults]\n";
   kvF("drop_rate", c.dropRate);
   kvF("corrupt_rate", c.corruptRate);
@@ -700,6 +729,31 @@ std::string ScenarioResult::summaryText(const ScenarioConfig& c) const {
                 static_cast<unsigned long long>(faultDrops),
                 static_cast<unsigned long long>(faultCorruptions));
   s += buf;
+  if (c.monitorSketch) {
+    const double recall =
+        hhTrue == 0 ? 100.0
+                    : 100.0 * static_cast<double>(hhTrue - hhMissed) /
+                          static_cast<double>(hhTrue);
+    std::snprintf(buf, sizeof buf,
+                  "monitor sketch rows=%zu width=%zu stride=%lu checks=%llu "
+                  "underest=%llu eps_violations=%llu allowed=%llu bound=%s\n",
+                  c.sketchRows, c.sketchWidth,
+                  static_cast<unsigned long>(c.sketchStride),
+                  static_cast<unsigned long long>(monitorChecks),
+                  static_cast<unsigned long long>(monitorUnderestimates),
+                  static_cast<unsigned long long>(monitorEpsViolations),
+                  static_cast<unsigned long long>(monitorViolationsAllowed),
+                  monitorBoundOk ? "ok" : "VIOLATED");
+    s += buf;
+    std::snprintf(buf, sizeof buf,
+                  "monitor hh threshold=%llu true=%llu reported=%llu "
+                  "recall=%.1f%% hooks=%llu\n",
+                  static_cast<unsigned long long>(c.hhThresholdPkts),
+                  static_cast<unsigned long long>(hhTrue),
+                  static_cast<unsigned long long>(hhReported), recall,
+                  static_cast<unsigned long long>(hookExecutions));
+    s += buf;
+  }
   std::snprintf(buf, sizeof buf, "digest flow=%016llx queue=%016llx\n",
                 static_cast<unsigned long long>(flowDigest),
                 static_cast<unsigned long long>(queueDigest));
@@ -722,6 +776,7 @@ ScenarioRun runScenario(const ScenarioConfig& c, const RunOptions& options) {
   asic::SwitchConfig swCfg;
   swCfg.bufferPerQueueBytes = c.bufferKb * 1024;
   if (c.ecnThresholdKb != 0) swCfg.ecnThresholdBytes = c.ecnThresholdKb * 1024;
+  swCfg.hookStride = c.sketchStride;
   host::LinkParams lp;
   lp.rateBps = static_cast<std::uint64_t>(c.linkGbps * 1e9);
   lp.delay = sim::Time::seconds(c.linkDelayUs * 1e-6);
@@ -761,6 +816,38 @@ ScenarioRun runScenario(const ScenarioConfig& c, const RunOptions& options) {
       auto& ba = faults.link("link" + std::to_string(i) + ":ba", fp);
       tb.linkAt(i).aToB().setFaultState(&ab);
       tb.linkAt(i).bToA().setFaultState(&ba);
+    }
+  }
+
+  // ------------------------------------------------------ sketch monitor
+  // Per switch: an SRAM grant for the sketch task (switching the allocator
+  // to enforcing mode — the hook runs under exactly the isolation carried
+  // TPPs get), the resident update hook, and the exact ground-truth
+  // counter on the same enqueue path.
+  const monitor::SketchConfig sketchCfg{
+      .taskId = apps::kTaskSketch,
+      .rows = static_cast<std::uint32_t>(c.sketchRows),
+      .width = static_cast<std::uint32_t>(c.sketchWidth)};
+  const monitor::CountMinSketch sketch(sketchCfg);
+  std::vector<std::unique_ptr<monitor::GroundTruthCounter>> truth;
+  std::vector<std::uint16_t> sketchBases;
+  if (c.monitorSketch) {
+    for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+      asic::Switch& sw = tb.sw(s);
+      std::string whyNot;
+      const auto grant = sw.sramAllocator().allocate(
+          sketchCfg.taskId, sketch.words(), core::StatNamespace::Sram,
+          &whyNot);
+      assert(grant && "sketch grant must fit the scratch SRAM");
+      const std::uint16_t base = grant->baseAddress();
+      sw.scratchWrite(
+          static_cast<std::uint16_t>(base + monitor::CountMinSketch::kThresholdWord),
+          static_cast<std::uint32_t>(c.hhThresholdPkts));
+      sw.installHook(sketch.updateHook(base));
+      auto gt = std::make_unique<monitor::GroundTruthCounter>();
+      sw.setEgressInterceptor(gt.get());
+      truth.push_back(std::move(gt));
+      sketchBases.push_back(base);
     }
   }
 
@@ -932,6 +1019,56 @@ ScenarioRun runScenario(const ScenarioConfig& c, const RunOptions& options) {
   }
   res.faultDrops = faults.totalDrops();
   res.faultCorruptions = faults.totalCorrupted();
+
+  // ------------------------------------------------- sketch accuracy audit
+  // Every (switch, flow) pair: read the sketch estimate out of scratch SRAM
+  // and compare against that switch's exact count. Flow hashes are visited
+  // in sorted order so the audit (and the summary derived from it) is
+  // deterministic across runs and shard counts.
+  if (c.monitorSketch) {
+    const std::uint32_t stride = std::max<std::uint32_t>(1, c.sketchStride);
+    for (std::size_t s = 0; s < tb.switchCount(); ++s) {
+      asic::Switch& sw = tb.sw(s);
+      const std::uint16_t base = sketchBases[s];
+      const double epsN = sketch.epsilon() *
+                          static_cast<double>(truth[s]->eligiblePackets());
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+      counts.reserve(truth[s]->flows().size());
+      for (const auto& [hash, fc] : truth[s]->flows()) {
+        counts.emplace_back(hash, fc.packets);
+      }
+      std::sort(counts.begin(), counts.end());
+      const auto readWord = [&sw](std::uint16_t address) {
+        return sw.scratchRead(address);
+      };
+      for (const auto& [hash, pkts] : counts) {
+        const auto est = sketch.estimate(readWord, base, hash, stride);
+        if (!est) continue;
+        ++res.monitorChecks;
+        if (*est < pkts) ++res.monitorUnderestimates;
+        if (static_cast<double>(*est) >
+            static_cast<double>(pkts) + epsN) {
+          ++res.monitorEpsViolations;
+        }
+        const bool trueHh = pkts >= 2 * c.hhThresholdPkts;
+        if (trueHh) {
+          ++res.hhTrue;
+          if (*est < c.hhThresholdPkts) ++res.hhMissed;
+        }
+        if (*est >= c.hhThresholdPkts) ++res.hhReported;
+      }
+      res.hookExecutions += sw.hookExecutions();
+    }
+    // The analytic tail at delta, with 3x slack for the finite sample and
+    // the non-independence of per-flow checks within one sketch.
+    res.monitorViolationsAllowed = static_cast<std::uint64_t>(std::max(
+        1.0,
+        std::ceil(3.0 * sketch.delta() *
+                  static_cast<double>(res.monitorChecks))));
+    res.monitorBoundOk =
+        res.monitorEpsViolations <= res.monitorViolationsAllowed &&
+        (stride > 1 || res.monitorUnderestimates == 0);
+  }
 
   if (trace) run.trace = trace->merged();
   return run;

@@ -75,6 +75,17 @@ struct ScenarioConfig {
   std::uint64_t queueThresholdKb = 24;
   std::size_t maxControllers = 64; // first N flows get a controller
 
+  // [monitor] — in-switch sketch monitoring (DESIGN.md §14). When sketch is
+  // on, every switch gets an SRAM grant for the count-min task, the
+  // per-packet update hook installed at the configured sampling stride, and
+  // a ground-truth interceptor; the run report then carries the measured
+  // (eps, delta) accuracy and heavy-hitter recall.
+  bool monitorSketch = false;
+  std::size_t sketchRows = 4;        // d (delta = e^-d)
+  std::size_t sketchWidth = 64;      // w (eps = e/w)
+  std::uint32_t sketchStride = 1;    // hook runs every Nth eligible packet
+  std::uint64_t hhThresholdPkts = 64;  // heavy-hitter report threshold
+
   // [faults]
   double dropRate = 0.0;           // i.i.d. per-packet, every link
   double corruptRate = 0.0;
@@ -162,6 +173,22 @@ struct ScenarioResult {
   // Fault layer activity.
   std::uint64_t faultDrops = 0;
   std::uint64_t faultCorruptions = 0;
+
+  // In-switch sketch monitoring (all zero unless [monitor] sketch = on).
+  // One "check" is one (switch, flow) estimate compared against that
+  // switch's exact ground-truth count. The bound verdict asserts the
+  // count-min guarantees: no underestimates (at stride 1) and at most
+  // `monitorViolationsAllowed` estimates above true + eps*N (the analytic
+  // tail at delta, with slack for the finite sample).
+  std::uint64_t monitorChecks = 0;
+  std::uint64_t monitorUnderestimates = 0;
+  std::uint64_t monitorEpsViolations = 0;
+  std::uint64_t monitorViolationsAllowed = 0;
+  bool monitorBoundOk = true;
+  std::uint64_t hhTrue = 0;      // flows at >= 2x threshold (per switch)
+  std::uint64_t hhMissed = 0;    // true heavy hitters estimated below it
+  std::uint64_t hhReported = 0;  // flows whose estimate crossed it
+  std::uint64_t hookExecutions = 0;  // sum over switches
 
   // Run metadata — shard-count-DEPENDENT, excluded from summaryText().
   std::uint64_t eventsExecuted = 0;

@@ -79,10 +79,50 @@ TEST(SramAllocator, ExhaustionFails) {
   EXPECT_FALSE(a.allocate(2, 1));
 }
 
+// Exhaustion must say WHO wanted WHAT and what was actually left — "grant
+// failed" alone sends the operator into the allocator with a debugger.
+TEST(SramAllocator, ExhaustionDiagnosticNamesTaskRequestAndFreeExtent) {
+  SramAllocator a;
+  ASSERT_TRUE(a.allocate(1, kSramWords - 10));
+  std::string whyNot;
+  EXPECT_FALSE(a.allocate(8, 300, StatNamespace::Sram, &whyNot));
+  EXPECT_NE(whyNot.find("task 8"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("requested 300"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("Sram"), std::string::npos) << whyNot;
+  // The largest free extent (10 words) and the region size both appear, so
+  // the caller can tell fragmentation from genuine exhaustion.
+  EXPECT_NE(whyNot.find("largest free extent is 10"), std::string::npos)
+      << whyNot;
+  EXPECT_NE(whyNot.find(std::to_string(kSramWords)), std::string::npos)
+      << whyNot;
+}
+
+TEST(SramAllocator, ExhaustionDiagnosticReportsFragmentationHole) {
+  SramAllocator a;
+  const auto g1 = a.allocate(1, 100);
+  const auto g2 = a.allocate(2, kSramWords - 100);
+  ASSERT_TRUE(g1 && g2);
+  a.release(1);  // a 100-word hole at the front, nothing past g2
+  std::string whyNot;
+  EXPECT_FALSE(a.allocate(3, 200, StatNamespace::Sram, &whyNot));
+  EXPECT_NE(whyNot.find("task 3"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("requested 200"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("largest free extent is 100"), std::string::npos)
+      << whyNot;
+}
+
 TEST(SramAllocator, RejectsDegenerateRequests) {
   SramAllocator a;
   EXPECT_FALSE(a.allocate(1, 0));
   EXPECT_FALSE(a.allocate(1, 4, StatNamespace::Queue));
+  std::string whyNot;
+  EXPECT_FALSE(a.allocate(5, 0, StatNamespace::Sram, &whyNot));
+  EXPECT_NE(whyNot.find("task 5"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("zero-word"), std::string::npos) << whyNot;
+  EXPECT_FALSE(a.allocate(6, 4, StatNamespace::Queue, &whyNot));
+  EXPECT_NE(whyNot.find("task 6"), std::string::npos) << whyNot;
+  EXPECT_NE(whyNot.find("only Sram and PortScratch"), std::string::npos)
+      << whyNot;
 }
 
 TEST(SramAllocator, MultipleGrantsPerTask) {

@@ -103,6 +103,59 @@ TEST(HopSampleAverager, OutOfRangeIsZero) {
   EXPECT_DOUBLE_EQ(avg.mean(0, 5), 0.0);
 }
 
+// ------------------------------------------- checked multi-word records
+//
+// The sketch read probe (monitor::CountMinSketch::readProbeProgram) burns
+// two CEXEC immediates and pushes 1 + rows words at the one pinned switch:
+// a 5-word record behind a 2-word immediate region for the default d = 4.
+// These pin the hole-aware splitter on exactly that shape.
+
+TEST(SplitStackRecordsChecked, SketchReadRecordParses) {
+  // [imm, imm | epoch, row0..row3], sp = 7 words.
+  const auto t = stackTpp({0xffffffff, 1, 3, 51, 52, 50, 53}, 28);
+  const auto split = splitStackRecordsChecked(t, 5, /*initialSpWords=*/2);
+  EXPECT_FALSE(split.truncated);
+  ASSERT_TRUE(split.complete(1));
+  ASSERT_EQ(split.records.size(), 1u);
+  EXPECT_EQ(split.records[0], (HopRecord{3, 51, 52, 50, 53}));
+}
+
+TEST(SplitStackRecordsChecked, PartialSketchRecordIsTruncatedNotDropped) {
+  // A TPP-unaware hop forwarded mid-push: only 3 of the 5 words landed.
+  const auto t = stackTpp({0xffffffff, 1, 3, 51, 52}, 20);
+  const auto split = splitStackRecordsChecked(t, 5, /*initialSpWords=*/2);
+  EXPECT_TRUE(split.truncated);
+  EXPECT_TRUE(split.records.empty());
+  EXPECT_FALSE(split.complete(1));
+}
+
+TEST(SplitStackRecordsChecked, CexecSkippedHopsYieldShortTrace) {
+  // Two TCPU hops on the path, but the probe is CEXEC-pinned to one
+  // switch: one whole record, structurally clean, short of 2 hops.
+  const auto t = stackTpp({0xffffffff, 1, 3, 51, 52, 50, 53, 0, 0, 0, 0, 0},
+                          28, /*hops=*/2);
+  const auto split = splitStackRecordsChecked(t, 5, /*initialSpWords=*/2);
+  EXPECT_FALSE(split.truncated);
+  ASSERT_EQ(split.records.size(), 1u);
+  EXPECT_TRUE(split.complete(1));
+  EXPECT_FALSE(split.complete(2));
+}
+
+TEST(SplitStackRecordsChecked, StackPointerPastPmemIsTruncated) {
+  // A corrupted header claims more pushed words than packet memory holds.
+  const auto t = stackTpp({0xffffffff, 1, 3, 51}, 48);
+  const auto split = splitStackRecordsChecked(t, 5, /*initialSpWords=*/2);
+  EXPECT_TRUE(split.truncated);
+  EXPECT_TRUE(split.records.empty());
+}
+
+TEST(SplitStackRecordsChecked, StackPointerBelowImmediatesIsTruncated) {
+  const auto t = stackTpp({0xffffffff, 1}, 4);
+  const auto split = splitStackRecordsChecked(t, 5, /*initialSpWords=*/2);
+  EXPECT_TRUE(split.truncated);
+  EXPECT_TRUE(split.records.empty());
+}
+
 TEST(HopSampleAverager, ResetClears) {
   HopSampleAverager avg(1);
   avg.add({{10}});

@@ -252,9 +252,10 @@ TEST(Interference, ProtectedRegionWriteWithoutAcquireIsFlagged) {
 
 // ------------------------------------------- shipped deployment + gate
 
-TEST(Interference, ShippedSixAppDeploymentIsConflictFree) {
+TEST(Interference, ShippedDeploymentIsConflictFree) {
+  // Six probe-driven apps plus the three resident monitoring hooks.
   const auto dep = apps::shippedDeployment();
-  ASSERT_EQ(dep.tasks.size(), 6u);
+  ASSERT_EQ(dep.tasks.size(), 9u);
   const auto report = core::analyzeInterference(dep.tasks, dep.options);
   EXPECT_TRUE(report.ok());
   EXPECT_TRUE(report.findings.empty())
